@@ -1,0 +1,78 @@
+// Command mlaas-datasets inspects and exports the 119-dataset corpus.
+//
+// Usage:
+//
+//	mlaas-datasets list [-profile quick|full]          # one line per dataset
+//	mlaas-datasets stats [-profile quick|full]         # Figure 3 marginals
+//	mlaas-datasets export -name CIRCLE [-out x.csv]    # write one dataset as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlaasbench/internal/core"
+	"mlaasbench/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	profileName := fs.String("profile", "quick", "generation profile: quick or full")
+	name := fs.String("name", "", "dataset name (export)")
+	out := fs.String("out", "", "output file (export; default stdout)")
+	seed := fs.Uint64("seed", synth.CorpusSeed, "generation seed")
+	_ = fs.Parse(os.Args[2:])
+
+	profile, err := synth.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "list":
+		for _, spec := range synth.Corpus() {
+			ds := synth.GenerateClean(spec, profile, *seed)
+			fmt.Println(ds.Summary())
+		}
+	case "stats":
+		core.WriteFig3(os.Stdout, profile, *seed)
+	case "export":
+		if *name == "" {
+			fatal(fmt.Errorf("export requires -name"))
+		}
+		spec, ok := synth.CorpusByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q", *name))
+		}
+		ds := synth.GenerateClean(spec, profile, *seed)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := ds.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mlaas-datasets {list|stats|export} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlaas-datasets:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command mlaas-server hosts the simulated MLaaS platforms over HTTP.
+//
+// Usage:
+//
+//	mlaas-server [-addr :8080] [-quiet]
+//
+// The API mirrors the 2016-era services the paper measured:
+//
+//	GET  /v1/platforms
+//	GET  /v1/platforms/{platform}/surface
+//	POST /v1/platforms/{platform}/datasets          (JSON or text/csv)
+//	POST /v1/platforms/{platform}/models
+//	POST /v1/platforms/{platform}/models/{id}/predictions
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"mlaasbench/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quiet := flag.Bool("quiet", false, "suppress request logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(logf).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("mlaas-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+}

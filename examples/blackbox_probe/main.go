@@ -1,0 +1,75 @@
+// Black-box probe: the §6.1 methodology end-to-end over HTTP. Starts the
+// simulated MLaaS service in-process, then — acting as an external
+// measurement client with no knowledge of the server internals — uploads
+// the CIRCLE and LINEAR probe datasets to a black-box platform, queries a
+// mesh of predictions, and renders the decision boundary (Figures 10/13).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"mlaasbench"
+)
+
+func main() {
+	platform := flag.String("platform", "google", "platform to probe (google, abm, amazon)")
+	steps := flag.Int("steps", 36, "mesh resolution")
+	flag.Parse()
+
+	// Host the simulated services locally; the client below only ever
+	// talks HTTP, exactly like the paper's measurement scripts.
+	srv := httptest.NewServer(mlaas.NewServer(func(string, ...any) {}))
+	defer srv.Close()
+	c := mlaas.NewClient(srv.URL)
+	ctx := context.Background()
+
+	circle, linear := mlaas.ProbeDatasets(mlaas.Quick, mlaas.DefaultSeed)
+	for _, probe := range []*mlaas.DatasetT{circle, linear} {
+		fmt.Printf("\n%s on %s:\n", *platform, probe.Name)
+		boundary, err := probeBoundary(ctx, c, *platform, probe, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(boundary)
+	}
+}
+
+// probeBoundary uploads the dataset, trains a model (configs rejected by
+// black boxes, so Amazon gets its default LR), and rasterizes mesh
+// predictions.
+func probeBoundary(ctx context.Context, c *mlaas.Client, platform string, probe *mlaas.DatasetT, steps int) (string, error) {
+	dsID, err := c.Upload(ctx, platform, probe)
+	if err != nil {
+		return "", fmt.Errorf("upload: %w", err)
+	}
+	cfg := mlaas.Config{}
+	if platform == "amazon" {
+		cfg = mlaas.Config{Classifier: "logreg", Params: map[string]any{}}
+	}
+	modelID, err := c.Train(ctx, platform, dsID, cfg, mlaas.DefaultSeed)
+	if err != nil {
+		return "", fmt.Errorf("train: %w", err)
+	}
+	mesh := probe.MeshGrid(steps, 0.25)
+	labels, err := c.Predict(ctx, platform, modelID, mesh)
+	if err != nil {
+		return "", fmt.Errorf("predict: %w", err)
+	}
+	var sb strings.Builder
+	for j := steps - 1; j >= 0; j-- {
+		for i := 0; i < steps; i++ {
+			if labels[i*steps+j] == 1 {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

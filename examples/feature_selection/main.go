@@ -1,0 +1,67 @@
+// Feature selection walkthrough: the FEAT control dimension (§4.2) on a
+// deliberately noisy, high-dimensional dataset. Compares a baseline
+// Logistic Regression against every filter method and scaler the local
+// library exposes, showing which transformations rescue performance when
+// most features are noise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mlaasbench"
+)
+
+func main() {
+	// 6 informative dimensions drowned in 18 noise features.
+	spec := mlaas.Spec{
+		Name:       "noisy-highdim",
+		Gen:        "linear",
+		N:          240,
+		D:          6,
+		Noise:      0.3,
+		NoiseFeats: 18,
+	}
+	ds := mlaas.Generate(spec, mlaas.Quick, mlaas.DefaultSeed)
+	split := mlaas.Split(ds, mlaas.DefaultSeed)
+	fmt.Printf("dataset: %d samples, %d features (6 informative, %d noise)\n\n",
+		ds.N(), ds.D(), ds.D()-6)
+
+	local, err := mlaas.Platform("local")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := local.Surface().DefaultConfig("logreg")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type result struct {
+		feat string
+		f1   float64
+	}
+	var results []result
+	for _, feat := range local.Surface().FeatOptions() {
+		cfg := base
+		cfg.Feat = feat
+		res, err := local.Run(cfg, split.Train, split.Test, mlaas.DefaultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{feat: feat.String(), f1: res.Scores.F1})
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].f1 > results[b].f1 })
+
+	fmt.Println("FEAT option ranking (Logistic Regression, default params):")
+	for i, r := range results {
+		marker := " "
+		if r.feat == "none" {
+			marker = "←baseline"
+		}
+		fmt.Printf("  %2d. %-18s F1 = %.3f %s\n", i+1, r.feat, r.f1, marker)
+	}
+	fmt.Println("\nfilter methods that score features against the label recover the")
+	fmt.Println("signal; pure rescaling cannot remove the noise dimensions (§4.2:")
+	fmt.Println("FEAT gives the second-largest improvement after classifier choice).")
+}

@@ -1,0 +1,44 @@
+// Platform comparison: a miniature version of the paper's headline
+// experiment (Figure 4 / Table 3). Sweeps every platform's full control
+// surface over a slice of the corpus and prints baseline vs optimized
+// F-scores, per-control improvements and the measurement-scale table.
+//
+// Run with -datasets 119 for the full corpus (several minutes); the default
+// 10-dataset slice finishes quickly and already shows the shape.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mlaasbench"
+)
+
+func main() {
+	nDatasets := flag.Int("datasets", 10, "number of corpus datasets to sweep")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	opts := mlaas.DefaultSweepOptions()
+	opts.MaxDatasets = *nDatasets
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	fmt.Printf("sweeping %d datasets across %d platforms...\n", *nDatasets, len(mlaas.Platforms()))
+	sweep, err := mlaas.RunSweep(context.Background(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sweep.WriteTable2(os.Stdout)
+	fmt.Println()
+	sweep.WriteFig4(os.Stdout)
+	fmt.Println()
+	sweep.WriteFig5(os.Stdout)
+	fmt.Println()
+	sweep.WriteFig6(os.Stdout)
+}

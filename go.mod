@@ -1,0 +1,3 @@
+module mlaasbench
+
+go 1.22

@@ -1,0 +1,290 @@
+// Package classifiers implements the classifier zoo the paper sweeps over:
+// the ten classifiers of the local scikit-learn arm (Table 1) plus the three
+// Microsoft-only ones (Averaged Perceptron, Bayes Point Machine, Decision
+// Jungle). Every classifier trains on a dense feature matrix with binary
+// labels and exposes its tunable parameters through the registry so the
+// pipeline can enumerate configurations exactly the way §3.2 does
+// (categorical: all options; numeric: default/100, default, 100·default,
+// clamped to the valid range).
+package classifiers
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlaasbench/internal/rng"
+)
+
+// Classifier is a trainable binary classifier.
+type Classifier interface {
+	// Name returns the canonical classifier name (e.g. "logreg").
+	Name() string
+	// Fit trains on the given samples. Implementations must be
+	// deterministic given r. Fit reports an error for unusable input
+	// (no samples, zero features).
+	Fit(x [][]float64, y []int, r *rng.RNG) error
+	// Predict returns a 0/1 label for each row. Predict must only be
+	// called after a successful Fit.
+	Predict(x [][]float64) []int
+}
+
+// Params carries classifier hyperparameters by name. Missing entries fall
+// back to the classifier's documented default.
+type Params map[string]any
+
+// Float reads a numeric parameter, accepting float64 or int values.
+func (p Params) Float(name string, def float64) float64 {
+	v, ok := p[name]
+	if !ok {
+		return def
+	}
+	switch t := v.(type) {
+	case float64:
+		return t
+	case int:
+		return float64(t)
+	default:
+		return def
+	}
+}
+
+// Int reads an integer parameter (rounding float values).
+func (p Params) Int(name string, def int) int {
+	v, ok := p[name]
+	if !ok {
+		return def
+	}
+	switch t := v.(type) {
+	case int:
+		return t
+	case float64:
+		return int(math.Round(t))
+	default:
+		return def
+	}
+}
+
+// String reads a string parameter.
+func (p Params) String(name, def string) string {
+	if v, ok := p[name].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns an independent copy of p.
+func (p Params) Clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// ParamKind distinguishes how a parameter is enumerated.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	Categorical ParamKind = iota
+	Numeric
+)
+
+// ParamSpec describes one tunable parameter for grid enumeration.
+type ParamSpec struct {
+	Name    string
+	Kind    ParamKind
+	Options []any   // Categorical: the exhaustive option list
+	Default float64 // Numeric: platform default D
+	Min     float64 // Numeric: smallest valid value
+	Max     float64 // Numeric: largest valid value
+	IsInt   bool    // Numeric: round grid values to integers
+}
+
+// GridValues returns the values the sweep explores for this parameter. For
+// categorical parameters that is every option; for numeric parameters the
+// paper's rule (§3.2): D/100, D and 100·D, clamped to the valid range and
+// de-duplicated.
+func (ps ParamSpec) GridValues() []any {
+	if ps.Kind == Categorical {
+		return append([]any(nil), ps.Options...)
+	}
+	raw := []float64{ps.Default / 100, ps.Default, ps.Default * 100}
+	var vals []any
+	seen := map[float64]bool{}
+	for _, v := range raw {
+		if ps.Max > ps.Min {
+			if v < ps.Min {
+				v = ps.Min
+			}
+			if v > ps.Max {
+				v = ps.Max
+			}
+		}
+		if ps.IsInt {
+			v = math.Round(v)
+			if v < 1 && ps.Min >= 1 {
+				v = 1
+			}
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if ps.IsInt {
+			vals = append(vals, int(v))
+		} else {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// DefaultValue returns the platform-default value for the parameter.
+func (ps ParamSpec) DefaultValue() any {
+	if ps.Kind == Categorical {
+		if len(ps.Options) == 0 {
+			return nil
+		}
+		return ps.Options[0]
+	}
+	if ps.IsInt {
+		return int(math.Round(ps.Default))
+	}
+	return ps.Default
+}
+
+// Info describes a registered classifier: its identity, linearity family
+// (Table 5) and tunable parameters (local-library surface; platforms expose
+// subsets).
+type Info struct {
+	Name   string
+	Label  string // paper abbreviation, e.g. "LR", "BST"
+	Linear bool
+	Params []ParamSpec
+}
+
+type entry struct {
+	info Info
+	make func(Params) Classifier
+}
+
+var registry = map[string]entry{}
+
+// register installs a classifier constructor; called from each classifier
+// file's init.
+func register(info Info, make func(Params) Classifier) {
+	if _, dup := registry[info.Name]; dup {
+		panic("classifiers: duplicate registration " + info.Name)
+	}
+	registry[info.Name] = entry{info: info, make: make}
+}
+
+// New constructs a classifier by registry name with the given parameters.
+func New(name string, params Params) (Classifier, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("classifiers: unknown classifier %q", name)
+	}
+	if params == nil {
+		params = Params{}
+	}
+	return e.make(params), nil
+}
+
+// Lookup returns the registry info for a classifier name.
+func Lookup(name string) (Info, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("classifiers: unknown classifier %q", name)
+	}
+	return e.info, nil
+}
+
+// Names returns all registered classifier names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinearFamily returns the Table-5 split: names of linear and non-linear
+// classifiers among the registered set.
+func LinearFamily() (linear, nonLinear []string) {
+	for _, name := range Names() {
+		if registry[name].info.Linear {
+			linear = append(linear, name)
+		} else {
+			nonLinear = append(nonLinear, name)
+		}
+	}
+	return linear, nonLinear
+}
+
+// DefaultParams returns the platform-default parameter assignment for a
+// classifier (every spec at its default value).
+func DefaultParams(name string) (Params, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p := Params{}
+	for _, spec := range info.Params {
+		p[spec.Name] = spec.DefaultValue()
+	}
+	return p, nil
+}
+
+// validateFit performs the shared input checks for Fit implementations.
+func validateFit(x [][]float64, y []int) (n, d int, err error) {
+	if len(x) == 0 {
+		return 0, 0, fmt.Errorf("classifiers: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("classifiers: %d samples vs %d labels", len(x), len(y))
+	}
+	d = len(x[0])
+	if d == 0 {
+		return 0, 0, fmt.Errorf("classifiers: zero features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return 0, 0, fmt.Errorf("classifiers: ragged row %d", i)
+		}
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return 0, 0, fmt.Errorf("classifiers: label %d at %d not binary", v, i)
+		}
+	}
+	return len(x), d, nil
+}
+
+// majorityLabel returns the most common label (ties → 1).
+func majorityLabel(y []int) int {
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	if 2*pos >= len(y) {
+		return 1
+	}
+	return 0
+}
+
+// signedLabels maps {0,1} to {-1,+1} for margin-based learners.
+func signedLabels(y []int) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v == 1 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

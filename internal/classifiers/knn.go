@@ -1,0 +1,90 @@
+package classifiers
+
+import (
+	"sort"
+
+	"mlaasbench/internal/linalg"
+	"mlaasbench/internal/rng"
+)
+
+func init() {
+	register(Info{
+		Name:   "knn",
+		Label:  "KNN",
+		Linear: false,
+		Params: []ParamSpec{
+			{Name: "n_neighbors", Kind: Numeric, Default: 5, Min: 1, Max: 200, IsInt: true},
+			{Name: "weights", Kind: Categorical, Options: []any{"uniform", "distance"}},
+			{Name: "p", Kind: Numeric, Default: 2, Min: 1, Max: 10},
+		},
+	}, func(p Params) Classifier { return &KNN{params: p} })
+}
+
+// KNN is a brute-force k-nearest-neighbours classifier under the Minkowski
+// Lp metric, with uniform or inverse-distance vote weighting — the
+// scikit-learn surface from Table 1.
+type KNN struct {
+	params Params
+	x      [][]float64
+	y      []int
+}
+
+// Name implements Classifier.
+func (*KNN) Name() string { return "knn" }
+
+// Fit implements Classifier. KNN is a lazy learner: Fit stores the data.
+func (k *KNN) Fit(x [][]float64, y []int, _ *rng.RNG) error {
+	if _, _, err := validateFit(x, y); err != nil {
+		return err
+	}
+	k.x = x
+	k.y = y
+	return nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x [][]float64) []int {
+	kk := k.params.Int("n_neighbors", 5)
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	if kk < 1 {
+		kk = 1
+	}
+	p := k.params.Float("p", 2)
+	if p < 1 {
+		p = 1
+	}
+	distWeighted := k.params.String("weights", "uniform") == "distance"
+
+	out := make([]int, len(x))
+	type nd struct {
+		dist float64
+		y    int
+	}
+	for qi, q := range x {
+		nds := make([]nd, len(k.x))
+		for i, row := range k.x {
+			var dist float64
+			if p == 2 {
+				dist = linalg.SquaredEuclidean(row, q)
+			} else {
+				dist = linalg.MinkowskiDistance(row, q, p)
+			}
+			nds[i] = nd{dist: dist, y: k.y[i]}
+		}
+		sort.Slice(nds, func(a, b int) bool { return nds[a].dist < nds[b].dist })
+		var votes [2]float64
+		for i := 0; i < kk; i++ {
+			wgt := 1.0
+			if distWeighted {
+				wgt = 1 / (nds[i].dist + 1e-9)
+			}
+			votes[nds[i].y] += wgt
+		}
+		if votes[1] > votes[0] {
+			out[qi] = 1
+		}
+	}
+	return out
+}

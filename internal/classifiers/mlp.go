@@ -1,0 +1,218 @@
+package classifiers
+
+import (
+	"math"
+
+	"mlaasbench/internal/linalg"
+	"mlaasbench/internal/rng"
+)
+
+func init() {
+	register(Info{
+		Name:   "mlp",
+		Label:  "MLP",
+		Linear: false,
+		Params: []ParamSpec{
+			{Name: "activation", Kind: Categorical, Options: []any{"relu", "tanh", "logistic"}},
+			{Name: "solver", Kind: Categorical, Options: []any{"adam", "sgd"}},
+			{Name: "alpha", Kind: Numeric, Default: 1e-4, Min: 1e-8, Max: 10},
+			{Name: "hidden", Kind: Numeric, Default: 16, Min: 2, Max: 256, IsInt: true},
+			{Name: "max_iter", Kind: Numeric, Default: 60, Min: 2, Max: 200, IsInt: true},
+		},
+	}, func(p Params) Classifier { return &MLP{params: p} })
+}
+
+// MLP is a one-hidden-layer multi-layer perceptron trained by backprop on
+// the logistic loss, with the scikit-learn surface from Table 1:
+// activation (relu/tanh/logistic), solver (sgd/adam) and L2 penalty alpha.
+type MLP struct {
+	params Params
+	// w1[h][j]: input j → hidden h, b1[h]; w2[h]: hidden h → output, b2.
+	w1 [][]float64
+	b1 []float64
+	w2 []float64
+	b2 float64
+}
+
+// Name implements Classifier.
+func (*MLP) Name() string { return "mlp" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
+	n, d, err := validateFit(x, y)
+	if err != nil {
+		return err
+	}
+	hidden := m.params.Int("hidden", 16)
+	if hidden < 2 {
+		hidden = 2
+	}
+	alpha := m.params.Float("alpha", 1e-4)
+	epochs := m.params.Int("max_iter", 60)
+	activation := m.params.String("activation", "relu")
+	adam := m.params.String("solver", "adam") == "adam"
+
+	// He/Xavier-style init.
+	scale := math.Sqrt(2 / float64(d))
+	m.w1 = make([][]float64, hidden)
+	m.b1 = make([]float64, hidden)
+	m.w2 = make([]float64, hidden)
+	for h := range m.w1 {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64() * scale
+		}
+		m.w1[h] = row
+		m.w2[h] = r.NormFloat64() * math.Sqrt(2/float64(hidden))
+	}
+	m.b2 = 0
+
+	// Adam state.
+	type adamState struct{ m, v float64 }
+	var (
+		aw1 [][]adamState
+		ab1 []adamState
+		aw2 []adamState
+		ab2 adamState
+	)
+	if adam {
+		aw1 = make([][]adamState, hidden)
+		for h := range aw1 {
+			aw1[h] = make([]adamState, d)
+		}
+		ab1 = make([]adamState, hidden)
+		aw2 = make([]adamState, hidden)
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	// Incrementally maintained powers of beta for Adam's bias correction —
+	// recomputing math.Pow per weight dominates training cost otherwise.
+	beta1Pow, beta2Pow := 1.0, 1.0
+	corr1, corr2 := 1.0, 1.0
+
+	act := func(z float64) float64 {
+		switch activation {
+		case "tanh":
+			return math.Tanh(z)
+		case "logistic":
+			return linalg.Sigmoid(z)
+		default:
+			if z > 0 {
+				return z
+			}
+			return 0
+		}
+	}
+	actGrad := func(z, a float64) float64 {
+		switch activation {
+		case "tanh":
+			return 1 - a*a
+		case "logistic":
+			return a * (1 - a)
+		default:
+			if z > 0 {
+				return 1
+			}
+			return 0
+		}
+	}
+
+	update := func(g float64, state *adamState, w *float64, lr float64) {
+		if !adam {
+			*w -= lr * g
+			return
+		}
+		state.m = beta1*state.m + (1-beta1)*g
+		state.v = beta2*state.v + (1-beta2)*g*g
+		mhat := state.m * corr1
+		vhat := state.v * corr2
+		*w -= lr * mhat / (math.Sqrt(vhat) + eps)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	z1 := make([]float64, hidden)
+	a1 := make([]float64, hidden)
+	for epoch := 0; epoch < epochs; epoch++ {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := 0.01
+		if !adam {
+			lr = 0.1 / (1 + 0.05*float64(epoch))
+		}
+		for _, i := range order {
+			step++
+			beta1Pow *= beta1
+			beta2Pow *= beta2
+			corr1 = 1 / (1 - beta1Pow)
+			corr2 = 1 / (1 - beta2Pow)
+			// Forward.
+			for h := 0; h < hidden; h++ {
+				z1[h] = linalg.Dot(m.w1[h], x[i]) + m.b1[h]
+				a1[h] = act(z1[h])
+			}
+			z2 := linalg.Dot(m.w2, a1) + m.b2
+			p := linalg.Sigmoid(z2)
+			// Backward: dLoss/dz2 = p - y.
+			g2 := p - float64(y[i])
+			for h := 0; h < hidden; h++ {
+				gw2 := g2*a1[h] + alpha*m.w2[h]/float64(n)
+				gh := g2 * m.w2[h] * actGrad(z1[h], a1[h])
+				if adam {
+					update(gw2, &aw2[h], &m.w2[h], lr)
+				} else {
+					update(gw2, nil, &m.w2[h], lr)
+				}
+				for j, xj := range x[i] {
+					gw1 := gh*xj + alpha*m.w1[h][j]/float64(n)
+					if adam {
+						update(gw1, &aw1[h][j], &m.w1[h][j], lr)
+					} else {
+						update(gw1, nil, &m.w1[h][j], lr)
+					}
+				}
+				if adam {
+					update(gh, &ab1[h], &m.b1[h], lr)
+				} else {
+					update(gh, nil, &m.b1[h], lr)
+				}
+			}
+			if adam {
+				update(g2, &ab2, &m.b2, lr)
+			} else {
+				update(g2, nil, &m.b2, lr)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x [][]float64) []int {
+	hidden := len(m.w1)
+	activation := m.params.String("activation", "relu")
+	out := make([]int, len(x))
+	for i, row := range x {
+		z2 := m.b2
+		for h := 0; h < hidden; h++ {
+			z := linalg.Dot(m.w1[h], row) + m.b1[h]
+			var a float64
+			switch activation {
+			case "tanh":
+				a = math.Tanh(z)
+			case "logistic":
+				a = linalg.Sigmoid(z)
+			default:
+				if z > 0 {
+					a = z
+				}
+			}
+			z2 += m.w2[h] * a
+		}
+		if z2 > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package classifiers
+
+import (
+	"testing"
+
+	"mlaasbench/internal/metrics"
+	"mlaasbench/internal/rng"
+)
+
+func TestEveryClassifierScores(t *testing.T) {
+	xTr, yTr := makeLinear(200, 60)
+	xTe, yTe := makeLinear(100, 61)
+	for _, name := range Names() {
+		clf, err := New(name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clf.Fit(xTr, yTr, rng.New(62)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		scorer, ok := clf.(Scorer)
+		if !ok {
+			t.Fatalf("%s does not implement Scorer", name)
+		}
+		scores := scorer.PredictScore(xTe)
+		if len(scores) != len(xTe) {
+			t.Fatalf("%s: %d scores for %d rows", name, len(scores), len(xTe))
+		}
+		// Scores must rank well on separable data.
+		if auc := metrics.AUC(yTe, scores); auc < 0.85 {
+			t.Errorf("%s: AUC %.3f on separable data", name, auc)
+		}
+	}
+}
+
+func TestScoresConsistentWithPredictions(t *testing.T) {
+	// For margin-style scorers, sign(score) should broadly agree with the
+	// hard prediction. We check agreement ≥ 90% per classifier (exact
+	// thresholds differ for probability-style scores centered at 0.5, so
+	// compare ordering instead: mean score of predicted-1 > predicted-0).
+	xTr, yTr := makeCircles(250, 63)
+	xTe, _ := makeCircles(120, 64)
+	for _, name := range Names() {
+		clf, _ := New(name, nil)
+		if err := clf.Fit(xTr, yTr, rng.New(65)); err != nil {
+			t.Fatal(err)
+		}
+		pred := clf.Predict(xTe)
+		scores := clf.(Scorer).PredictScore(xTe)
+		var sum1, sum0, n1, n0 float64
+		for i := range pred {
+			if pred[i] == 1 {
+				sum1 += scores[i]
+				n1++
+			} else {
+				sum0 += scores[i]
+				n0++
+			}
+		}
+		if n1 == 0 || n0 == 0 {
+			continue // degenerate prediction on this classifier; ranking untestable
+		}
+		if sum1/n1 <= sum0/n0 {
+			t.Errorf("%s: mean score of predicted-positive (%.3f) not above predicted-negative (%.3f)",
+				name, sum1/n1, sum0/n0)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package classifiers
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"mlaasbench/internal/rng"
+)
+
+// treeNode is one node of a CART tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64 // leaf: class-1 probability (classification) or mean (regression)
+}
+
+// treeConfig controls CART growth.
+type treeConfig struct {
+	maxDepth      int    // 0 = unlimited
+	minLeaf       int    // minimum samples per leaf
+	maxFeatures   string // "all", "sqrt", "log2"
+	criterion     string // "gini", "entropy" (classification), "mse" (regression)
+	randomSplits  int    // >0: extra-trees style — evaluate this many random thresholds per feature
+	nodeThreshold int    // stop splitting nodes smaller than this (BigML's node threshold)
+}
+
+func (c treeConfig) featureCount(d int) int {
+	switch c.maxFeatures {
+	case "sqrt":
+		k := int(math.Sqrt(float64(d)))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	case "log2":
+		k := int(math.Log2(float64(d)))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	default:
+		return d
+	}
+}
+
+// growTree builds a CART tree over the sample indices idx. target[i] is the
+// regression target (for classification pass the 0/1 label as float).
+func growTree(x [][]float64, target []float64, idx []int, cfg treeConfig, r *rng.RNG, depth int) *treeNode {
+	node := &treeNode{feature: -1, value: meanAt(target, idx)}
+	if len(idx) < 2*cfg.minLeaf || (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
+		return node
+	}
+	if cfg.nodeThreshold > 0 && len(idx) < cfg.nodeThreshold {
+		return node
+	}
+	if pureAt(target, idx) {
+		return node
+	}
+	d := len(x[0])
+	nFeat := cfg.featureCount(d)
+	var candidates []int
+	if nFeat >= d {
+		candidates = make([]int, d)
+		for j := range candidates {
+			candidates[j] = j
+		}
+	} else {
+		candidates = r.Sample(d, nFeat)
+	}
+
+	bestFeature, bestThreshold := -1, 0.0
+	bestScore := math.Inf(1)
+	for _, j := range candidates {
+		thr, score, ok := bestSplit(x, target, idx, j, cfg, r)
+		if ok && score < bestScore {
+			bestScore, bestFeature, bestThreshold = score, j, thr
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf || len(right) < cfg.minLeaf {
+		return node
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = growTree(x, target, left, cfg, r, depth+1)
+	node.right = growTree(x, target, right, cfg, r, depth+1)
+	return node
+}
+
+// splitPair is one (feature value, target) observation used during split
+// search.
+type splitPair struct {
+	v, t float64
+}
+
+// bestSplit finds the impurity-minimizing threshold for feature j over idx.
+// With randomSplits > 0 it samples random thresholds (extra-trees/Decision
+// Jungle style); otherwise it scans midpoints of the sorted unique values.
+// Both paths run in O(n log n): sort once, then maintain running left/right
+// sums while advancing the threshold.
+func bestSplit(x [][]float64, target []float64, idx []int, j int, cfg treeConfig, r *rng.RNG) (threshold, score float64, ok bool) {
+	n := len(idx)
+	pairs := make([]splitPair, n)
+	var sumAll, sqAll float64
+	for k, i := range idx {
+		t := target[i]
+		pairs[k] = splitPair{v: x[i][j], t: t}
+		sumAll += t
+		sqAll += t * t
+	}
+	slices.SortFunc(pairs, func(a, b splitPair) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if pairs[0].v >= pairs[n-1].v {
+		return 0, 0, false
+	}
+
+	impurity := func(nL, sumL, sqL float64) float64 {
+		nR := float64(n) - nL
+		sumR := sumAll - sumL
+		sqR := sqAll - sqL
+		switch cfg.criterion {
+		case "entropy":
+			return nL*entropyOf(sumL/nL) + nR*entropyOf(sumR/nR)
+		case "mse":
+			// Weighted variance = Σt² − (Σt)²/n per side.
+			return (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR)
+		default: // gini
+			return nL*giniOf(sumL/nL) + nR*giniOf(sumR/nR)
+		}
+	}
+
+	best := math.Inf(1)
+	found := false
+	if cfg.randomSplits > 0 {
+		lo, hi := pairs[0].v, pairs[n-1].v
+		thresholds := make([]float64, cfg.randomSplits)
+		for t := range thresholds {
+			thresholds[t] = r.Uniform(lo, hi)
+		}
+		sortFloats(thresholds)
+		var nL, sumL, sqL float64
+		pi := 0
+		for _, thr := range thresholds {
+			for pi < n && pairs[pi].v <= thr {
+				nL++
+				sumL += pairs[pi].t
+				sqL += pairs[pi].t * pairs[pi].t
+				pi++
+			}
+			if nL == 0 || int(nL) == n {
+				continue
+			}
+			if s := impurity(nL, sumL, sqL); s < best {
+				best, threshold, found = s, thr, true
+			}
+		}
+		return threshold, best, found
+	}
+
+	// Exact scan: advance through sorted values, evaluating at each
+	// boundary between distinct values.
+	var nL, sumL, sqL float64
+	for k := 0; k < n-1; k++ {
+		nL++
+		sumL += pairs[k].t
+		sqL += pairs[k].t * pairs[k].t
+		if pairs[k+1].v == pairs[k].v {
+			continue
+		}
+		if s := impurity(nL, sumL, sqL); s < best {
+			best = s
+			threshold = (pairs[k].v + pairs[k+1].v) / 2
+			found = true
+		}
+	}
+	return threshold, best, found
+}
+
+func (n *treeNode) predict(row []float64) float64 {
+	for n.feature >= 0 {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func (n *treeNode) depth() int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := n.left.depth(), n.right.depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func giniOf(p float64) float64 { return 2 * p * (1 - p) }
+
+func entropyOf(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func meanAt(target []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += target[i]
+	}
+	return s / float64(len(idx))
+}
+
+func pureAt(target []float64, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := target[idx[0]]
+	for _, i := range idx[1:] {
+		if target[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFloats is insertion sort for small slices (the common case inside
+// split search), stdlib sort otherwise.
+func sortFloats(v []float64) {
+	if len(v) < 24 {
+		for i := 1; i < len(v); i++ {
+			for j := i; j > 0 && v[j] < v[j-1]; j-- {
+				v[j], v[j-1] = v[j-1], v[j]
+			}
+		}
+		return
+	}
+	sort.Float64s(v)
+}
+
+// allIndices returns [0, n).
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// bootstrapIndices samples n indices with replacement.
+func bootstrapIndices(n int, r *rng.RNG) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	return idx
+}
+
+// labelsToFloats converts 0/1 ints to floats for the tree engine.
+func labelsToFloats(y []int) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package client is the measurement-side counterpart of the service
+// package: a context-aware HTTP client that uploads datasets, trains
+// models and queries predictions against a (simulated or real) MLaaS API,
+// with the retry, backoff and rate-limiting discipline a five-month
+// measurement campaign needs (§3.2: experiments ran October 2016 through
+// February 2017 over the platforms' web APIs).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/metrics"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+)
+
+// Client talks to one MLaaS service endpoint.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts for transient failures (5xx and
+	// transport errors). Default 3.
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt. Default
+	// 100ms.
+	Backoff time.Duration
+	// Limiter, when non-nil, gates every request (rate limiting against
+	// quota-limited services).
+	Limiter *RateLimiter
+}
+
+// New returns a client for the given base URL with default settings.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
+		Backoff:    100 * time.Millisecond,
+	}
+}
+
+// RateLimiter is a token bucket: capacity tokens, refilled at rate/sec.
+type RateLimiter struct {
+	tokens chan struct{}
+	stop   chan struct{}
+}
+
+// NewRateLimiter starts a limiter allowing ratePerSec requests per second
+// with the given burst capacity. Call Stop to release its goroutine.
+func NewRateLimiter(ratePerSec float64, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	rl := &RateLimiter{
+		tokens: make(chan struct{}, burst),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < burst; i++ {
+		rl.tokens <- struct{}{}
+	}
+	interval := time.Duration(float64(time.Second) / ratePerSec)
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				select {
+				case rl.tokens <- struct{}{}:
+				default:
+				}
+			case <-rl.stop:
+				return
+			}
+		}
+	}()
+	return rl
+}
+
+// Wait blocks until a token is available or the context is done.
+func (rl *RateLimiter) Wait(ctx context.Context) error {
+	select {
+	case <-rl.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop terminates the refill goroutine.
+func (rl *RateLimiter) Stop() { close(rl.stop) }
+
+// apiErr is a non-2xx response.
+type apiErr struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiErr) Error() string { return fmt.Sprintf("api: %d: %s", e.Status, e.Msg) }
+
+// IsRetryable reports whether an error is worth retrying (transport errors
+// and 5xx responses; 4xx means the request itself is wrong).
+func IsRetryable(err error) bool {
+	if ae, ok := err.(*apiErr); ok {
+		return ae.Status >= 500
+	}
+	return err != nil
+}
+
+// do executes one JSON request with retries and rate limiting.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if c.Limiter != nil {
+			if err := c.Limiter.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("client: build request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("client: read response: %w", err)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			var env struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(data, &env)
+			lastErr = &apiErr{Status: resp.StatusCode, Msg: env.Error}
+			if !IsRetryable(lastErr) {
+				return lastErr
+			}
+			continue
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Platforms lists the platforms the service hosts.
+func (c *Client) Platforms(ctx context.Context) ([]service.PlatformInfo, error) {
+	var out []service.PlatformInfo
+	err := c.do(ctx, http.MethodGet, "/v1/platforms", nil, &out)
+	return out, err
+}
+
+// Surface fetches one platform's control surface.
+func (c *Client) Surface(ctx context.Context, platform string) (service.SurfaceDoc, error) {
+	var out service.SurfaceDoc
+	err := c.do(ctx, http.MethodGet, "/v1/platforms/"+platform+"/surface", nil, &out)
+	return out, err
+}
+
+// Upload sends a dataset to a platform and returns its id.
+func (c *Client) Upload(ctx context.Context, platform string, ds *dataset.Dataset) (string, error) {
+	req := service.UploadRequest{Name: ds.Name, X: ds.X, Y: ds.Y}
+	var out service.UploadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/datasets", req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Train creates a model on an uploaded dataset. For black-box platforms
+// pass an empty config.
+func (c *Client) Train(ctx context.Context, platform, datasetID string, cfg pipeline.Config, seed uint64) (string, error) {
+	req := service.TrainRequest{Dataset: datasetID, Seed: seed}
+	if cfg.Classifier != "" {
+		req.Classifier = cfg.Classifier
+		req.Params = cfg.Params
+		if cfg.Feat.Kind != "" && cfg.Feat.Kind != "none" {
+			req.Feat = cfg.Feat.String()
+		}
+	}
+	var out service.TrainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/models", req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Predict queries a model with instances and returns predicted labels.
+func (c *Client) Predict(ctx context.Context, platform, modelID string, instances [][]float64) ([]int, error) {
+	req := service.PredictRequest{Instances: instances}
+	var out service.PredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/models/"+modelID+"/predictions", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Labels, nil
+}
+
+// Measure runs the paper's per-configuration measurement end-to-end over
+// the wire: upload the training split, train with the config, query the
+// held-out test set and score locally (the service never sees test labels,
+// exactly as in the study).
+func (c *Client) Measure(ctx context.Context, platform string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
+	dsID, err := c.Upload(ctx, platform, split.Train)
+	if err != nil {
+		return metrics.Scores{}, fmt.Errorf("client: upload: %w", err)
+	}
+	return c.MeasureOn(ctx, platform, dsID, split, cfg, seed)
+}
+
+// MeasureOn is Measure for an already-uploaded dataset — the sweep path,
+// where one upload serves many configurations.
+func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
+	modelID, err := c.Train(ctx, platform, datasetID, cfg, seed)
+	if err != nil {
+		return metrics.Scores{}, fmt.Errorf("client: train: %w", err)
+	}
+	labels, err := c.Predict(ctx, platform, modelID, split.Test.X)
+	if err != nil {
+		return metrics.Scores{}, fmt.Errorf("client: predict: %w", err)
+	}
+	scores, err := metrics.Score(split.Test.Y, labels)
+	if err != nil {
+		return metrics.Scores{}, fmt.Errorf("client: score: %w", err)
+	}
+	return scores, nil
+}

@@ -1,0 +1,260 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+)
+
+func TestRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode([]any{})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Backoff = time.Millisecond
+	if _, err := c.Platforms(context.Background()); err != nil {
+		t.Fatalf("should have retried through 5xx: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3", calls.Load())
+	}
+}
+
+func TestDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad dataset"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Backoff = time.Millisecond
+	if _, err := c.Platforms(context.Background()); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls for a 400, want 1 (no retry)", calls.Load())
+	}
+}
+
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"nope"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.MaxRetries = 2
+	c.Backoff = time.Millisecond
+	if _, err := c.Platforms(context.Background()); err == nil {
+		t.Fatal("expected terminal failure")
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Fatalf("%d calls, want 3", calls.Load())
+	}
+}
+
+func TestErrorMessageSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"unknown platform \"watson\""}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Surface(context.Background(), "watson")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); got != `api: 404: unknown platform "watson"` {
+		t.Fatalf("error message %q", got)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"x"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.MaxRetries = 100
+	c.Backoff = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Platforms(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not stop the retry loop promptly")
+	}
+}
+
+func TestRateLimiterThrottles(t *testing.T) {
+	rl := NewRateLimiter(100, 1) // 1 burst, 100/s refill → ~10ms per extra token
+	defer rl.Stop()
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := rl.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 immediate + 3 refills ≥ ~30ms ideally; allow generous slack but
+	// require evidence of throttling.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("4 tokens in %v — limiter not throttling", elapsed)
+	}
+}
+
+func TestRateLimiterHonorsContext(t *testing.T) {
+	rl := NewRateLimiter(0.1, 1) // very slow refill
+	defer rl.Stop()
+	ctx := context.Background()
+	if err := rl.Wait(ctx); err != nil { // consume the burst token
+		t.Fatal(err)
+	}
+	ctx2, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := rl.Wait(ctx2); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+}
+
+// fakeService implements just enough of the MLaaS API to exercise the
+// client's full measurement path without importing the service package
+// (which would create an import cycle in this test binary).
+func fakeService(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]map[string]any{{"name": "fake", "complexity": 0}})
+	})
+	mux.HandleFunc("GET /v1/platforms/{p}/surface", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"platform": r.PathValue("p")})
+	})
+	mux.HandleFunc("POST /v1/platforms/{p}/datasets", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			X [][]float64 `json:"x"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.X) == 0 {
+			http.Error(w, `{"error":"bad dataset"}`, http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"id":"ds-1","samples":4,"columns":1}`))
+	})
+	mux.HandleFunc("POST /v1/platforms/{p}/models", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Dataset string `json:"dataset"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Dataset != "ds-1" {
+			http.Error(w, `{"error":"unknown dataset"}`, http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"id":"m-1"}`))
+	})
+	mux.HandleFunc("POST /v1/platforms/{p}/models/{m}/predictions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Instances [][]float64 `json:"instances"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		labels := make([]int, len(req.Instances))
+		for i, inst := range req.Instances {
+			if inst[0] > 0 {
+				labels[i] = 1
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"labels": labels})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestMeasureEndToEndAgainstFake(t *testing.T) {
+	srv := fakeService(t)
+	c := New(srv.URL)
+	split := dataset.Split{
+		Train: &dataset.Dataset{Name: "tr", X: [][]float64{{-1}, {-2}, {1}, {2}}, Y: []int{0, 0, 1, 1}},
+		Test:  &dataset.Dataset{Name: "te", X: [][]float64{{-3}, {3}}, Y: []int{0, 1}},
+	}
+	scores, err := c.Measure(context.Background(), "fake", split, pipeline.Config{Classifier: "logreg", Params: map[string]any{}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.F1 != 1 {
+		t.Fatalf("fake perfectly separable measurement F1 %v", scores.F1)
+	}
+}
+
+func TestClientSurfaceAndPlatforms(t *testing.T) {
+	srv := fakeService(t)
+	c := New(srv.URL)
+	infos, err := c.Platforms(context.Background())
+	if err != nil || len(infos) != 1 || infos[0].Name != "fake" {
+		t.Fatalf("platforms %v, %v", infos, err)
+	}
+	doc, err := c.Surface(context.Background(), "fake")
+	if err != nil || doc.Platform != "fake" {
+		t.Fatalf("surface %v, %v", doc, err)
+	}
+}
+
+func TestMeasureSurfacesTrainFailure(t *testing.T) {
+	srv := fakeService(t)
+	c := New(srv.URL)
+	// Upload succeeds but Train 404s when the dataset id is wrong; force
+	// that by calling MeasureOn with a bogus id.
+	split := dataset.Split{
+		Train: &dataset.Dataset{Name: "tr", X: [][]float64{{1}}, Y: []int{1}},
+		Test:  &dataset.Dataset{Name: "te", X: [][]float64{{1}}, Y: []int{1}},
+	}
+	if _, err := c.MeasureOn(context.Background(), "fake", "ds-999", split, pipeline.Config{}, 1); err == nil {
+		t.Fatal("expected train failure to surface")
+	}
+}
+
+func TestLimiterGatesRequests(t *testing.T) {
+	srv := fakeService(t)
+	c := New(srv.URL)
+	c.Limiter = NewRateLimiter(1000, 1)
+	defer c.Limiter.Stop()
+	// Two quick calls must both succeed (limiter refills) — this exercises
+	// the limiter path inside do().
+	for i := 0; i < 2; i++ {
+		if _, err := c.Platforms(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if IsRetryable(&apiErr{Status: 400}) {
+		t.Fatal("400 must not be retryable")
+	}
+	if !IsRetryable(&apiErr{Status: 503}) {
+		t.Fatal("503 must be retryable")
+	}
+	if IsRetryable(nil) {
+		t.Fatal("nil error is not retryable")
+	}
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlaasbench/internal/metrics"
+	"mlaasbench/internal/stats"
+)
+
+// PlatformPerformance is one bar of Figure 4: a platform's baseline and
+// optimized average F-score with standard errors.
+type PlatformPerformance struct {
+	Platform        string  `json:"platform"`
+	BaselineF1      float64 `json:"baseline_f1"`
+	BaselineStdErr  float64 `json:"baseline_stderr"`
+	OptimizedF1     float64 `json:"optimized_f1"`
+	OptimizedStdErr float64 `json:"optimized_stderr"`
+}
+
+// Fig4 computes baseline vs optimized average F-score per platform, in
+// complexity order (§4.1, Figure 4).
+func (s *Sweep) Fig4() []PlatformPerformance {
+	var out []PlatformPerformance
+	for _, p := range s.Platforms() {
+		var base, opt []float64
+		for _, ds := range s.DatasetNames() {
+			if m, ok := s.Baseline(p, ds); ok {
+				base = append(base, m.Scores.F1)
+			}
+			if m, ok := s.Best(p, ds, "f1"); ok {
+				opt = append(opt, m.Scores.F1)
+			}
+		}
+		out = append(out, PlatformPerformance{
+			Platform:        p,
+			BaselineF1:      metrics.Mean(base),
+			BaselineStdErr:  metrics.StdErr(base),
+			OptimizedF1:     metrics.Mean(opt),
+			OptimizedStdErr: metrics.StdErr(opt),
+		})
+	}
+	return out
+}
+
+// Table3Row is one row of Table 3: a platform's average metrics with the
+// per-metric Friedman rankings (in parentheses in the paper) and the
+// average Friedman ranking the rows are sorted by.
+type Table3Row struct {
+	Platform    string             `json:"platform"`
+	AvgFriedman float64            `json:"avg_friedman"`
+	Avg         map[string]float64 `json:"avg"`      // metric → mean value
+	Friedman    map[string]float64 `json:"friedman"` // metric → avg rank
+}
+
+// Table3 computes the baseline (optimized=false) or optimized
+// (optimized=true) variant of Table 3. Optimized rows maximize each metric
+// independently per dataset, matching the paper's per-metric optima.
+func (s *Sweep) Table3(optimized bool) []Table3Row {
+	plats := s.Platforms()
+	dss := s.DatasetNames()
+	// values[metric][dataset][platform]
+	values := map[string][][]float64{}
+	for _, metric := range metrics.MetricNames() {
+		grid := make([][]float64, len(dss))
+		for di, ds := range dss {
+			row := make([]float64, len(plats))
+			for pi, p := range plats {
+				var m Measurement
+				var ok bool
+				if optimized {
+					m, ok = s.Best(p, ds, metric)
+				} else {
+					m, ok = s.Baseline(p, ds)
+				}
+				if ok {
+					v, err := m.Scores.Get(metric)
+					if err == nil {
+						row[pi] = v
+					}
+				}
+			}
+			grid[di] = row
+		}
+		values[metric] = grid
+	}
+
+	rows := make([]Table3Row, len(plats))
+	for pi, p := range plats {
+		rows[pi] = Table3Row{
+			Platform: p,
+			Avg:      map[string]float64{},
+			Friedman: map[string]float64{},
+		}
+		for _, metric := range metrics.MetricNames() {
+			var vals []float64
+			for di := range dss {
+				vals = append(vals, values[metric][di][pi])
+			}
+			rows[pi].Avg[metric] = metrics.Mean(vals)
+			ranks := stats.FriedmanRanks(values[metric])
+			rows[pi].Friedman[metric] = ranks[pi]
+		}
+		sum := 0.0
+		for _, metric := range metrics.MetricNames() {
+			sum += rows[pi].Friedman[metric]
+		}
+		rows[pi].AvgFriedman = sum / float64(len(metrics.MetricNames()))
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].AvgFriedman < rows[b].AvgFriedman })
+	return rows
+}
+
+// MetricAgreement validates the paper's §3.2 claim that average F-score is
+// a representative summary: it returns the Spearman rank correlation
+// between the platform ordering induced by average F-score and the ordering
+// induced by the Friedman ranking, for the baseline or optimized regime.
+// Values near 1 mean the cheap average agrees with the rank-based
+// statistic.
+func (s *Sweep) MetricAgreement(optimized bool) float64 {
+	rows := s.Table3(optimized)
+	if len(rows) < 3 {
+		return 1
+	}
+	var avgF, fried []float64
+	for _, r := range rows {
+		// Negate F so both vectors are "smaller is better".
+		avgF = append(avgF, -r.Avg["f1"])
+		fried = append(fried, r.Friedman["f1"])
+	}
+	return stats.Spearman(avgF, fried)
+}
+
+// Dimensions lists the three control dimensions in the paper's Figure 5/7
+// order.
+func Dimensions() []string { return []string{"feat", "clf", "para"} }
+
+// ControlImprovement is one bar of Figure 5: the relative F-score
+// improvement over baseline from tuning a single control dimension.
+type ControlImprovement struct {
+	Platform  string  `json:"platform"`
+	Dimension string  `json:"dimension"`
+	Percent   float64 `json:"percent"`
+	Supported bool    `json:"supported"`
+}
+
+// Fig5 computes the per-dimension relative improvement for every platform
+// that exposes the dimension (§4.2, Figure 5).
+func (s *Sweep) Fig5() []ControlImprovement {
+	var out []ControlImprovement
+	for _, dim := range Dimensions() {
+		for _, p := range s.Platforms() {
+			if p == "google" || p == "abm" {
+				continue // no user controls at all
+			}
+			ci := ControlImprovement{Platform: p, Dimension: dim}
+			if s.dimensionSupported(p, dim) {
+				ci.Supported = true
+				var base, best []float64
+				for _, ds := range s.DatasetNames() {
+					bm, ok := s.Baseline(p, ds)
+					if !ok {
+						continue
+					}
+					base = append(base, bm.Scores.F1)
+					best = append(best, s.bestInDimension(p, ds, dim))
+				}
+				mb := metrics.Mean(base)
+				if mb > 0 {
+					ci.Percent = (metrics.Mean(best) - mb) / mb * 100
+				}
+			}
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// dimensionSupported reports whether a platform exposes a control dimension.
+func (s *Sweep) dimensionSupported(platform, dim string) bool {
+	for _, ds := range s.DatasetNames() {
+		ms := s.ByPlatform[platform][ds]
+		switch dim {
+		case "feat":
+			for _, m := range ms {
+				if m.Config.Feat.Kind != "none" {
+					return true
+				}
+			}
+		case "clf":
+			seen := map[string]bool{}
+			for _, m := range ms {
+				seen[m.Config.Classifier] = true
+			}
+			return len(seen) > 1
+		case "para":
+			count := 0
+			for _, m := range ms {
+				if m.Config.Feat.Kind == "none" && m.Config.Classifier == "logreg" {
+					count++
+				}
+			}
+			return count > 1
+		}
+		break // all datasets share the enumeration; one is enough
+	}
+	return false
+}
+
+// bestInDimension returns the best F1 over the configs that tune only the
+// given dimension (others at baseline).
+func (s *Sweep) bestInDimension(platform, ds, dim string) float64 {
+	best := 0.0
+	for _, m := range s.ByPlatform[platform][ds] {
+		if !s.inDimension(m, dim) {
+			continue
+		}
+		if m.Scores.F1 > best {
+			best = m.Scores.F1
+		}
+	}
+	return best
+}
+
+// inDimension reports whether a measurement belongs to the single-dimension
+// slice: FEAT varies with classifier/params at baseline, CLF varies with
+// defaults, or PARA varies on the baseline classifier.
+func (s *Sweep) inDimension(m Measurement, dim string) bool {
+	isDefaultParams := s.hasDefaultParams(m)
+	switch dim {
+	case "feat":
+		return m.Config.Classifier == "logreg" && isDefaultParams
+	case "clf":
+		return m.Config.Feat.Kind == "none" && isDefaultParams
+	case "para":
+		return m.Config.Feat.Kind == "none" && m.Config.Classifier == "logreg"
+	default:
+		return false
+	}
+}
+
+// hasDefaultParams reports whether the measurement's params match the
+// platform surface defaults for its classifier.
+func (s *Sweep) hasDefaultParams(m Measurement) bool {
+	plat := s.ByPlatform[m.Platform]
+	// Find any dataset's measurement list to identify defaults: defaults
+	// are the first enumeration entry per (feat, classifier) pair. Cheaper
+	// and more robust: recompute from the surface via the stored config —
+	// a measurement is "default params" if every param equals the grid
+	// default. The surface isn't stored, so compare against the first
+	// matching config in the same dataset list.
+	for _, ms := range plat {
+		for _, other := range ms {
+			if other.Config.Classifier != m.Config.Classifier {
+				continue
+			}
+			// The enumeration emits the defaults first for each
+			// (feat, classifier); find that entry for m's feat.
+			if other.Config.Feat != m.Config.Feat {
+				continue
+			}
+			return paramsEqual(other.Config.Params, m.Config.Params)
+		}
+		break
+	}
+	return false
+}
+
+func paramsEqual(a, b map[string]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if fmt.Sprint(b[k]) != fmt.Sprint(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// VariationPoint is one box of Figure 6/7: the distribution of per-config
+// average F-scores for a platform (optionally restricted to one dimension).
+type VariationPoint struct {
+	Platform  string  `json:"platform"`
+	Dimension string  `json:"dimension,omitempty"` // "" for overall (Fig 6)
+	Min       float64 `json:"min"`
+	Q1        float64 `json:"q1"`
+	Median    float64 `json:"median"`
+	Q3        float64 `json:"q3"`
+	Max       float64 `json:"max"`
+	Configs   int     `json:"configs"`
+	Supported bool    `json:"supported"`
+}
+
+// Fig6 computes the overall performance variation per platform: for every
+// configuration, its average F-score across datasets; then the spread of
+// that distribution (§5.1, Figure 6).
+func (s *Sweep) Fig6() []VariationPoint {
+	var out []VariationPoint
+	for _, p := range s.Platforms() {
+		scores := s.perConfigAverages(p, nil)
+		out = append(out, variationPoint(p, "", scores))
+	}
+	return out
+}
+
+// Fig7 computes the per-dimension variation, normalized by the overall
+// variation from Fig6 (§5.2, Figure 7). The returned points carry the raw
+// quartiles; NormalizedRange reports the ratio.
+func (s *Sweep) Fig7() []VariationPoint {
+	var out []VariationPoint
+	for _, dim := range Dimensions() {
+		for _, p := range s.Platforms() {
+			if p == "google" || p == "abm" {
+				continue
+			}
+			vp := VariationPoint{Platform: p, Dimension: dim}
+			if s.dimensionSupported(p, dim) {
+				scores := s.perConfigAverages(p, func(m Measurement) bool { return s.inDimension(m, dim) })
+				vp = variationPoint(p, dim, scores)
+			}
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+// NormalizedRange returns (max-min) of the dimension point divided by
+// (max-min) of the platform's overall variation.
+func NormalizedRange(dim VariationPoint, overall []VariationPoint) float64 {
+	for _, o := range overall {
+		if o.Platform == dim.Platform {
+			den := o.Max - o.Min
+			if den == 0 {
+				return 0
+			}
+			return (dim.Max - dim.Min) / den
+		}
+	}
+	return 0
+}
+
+// perConfigAverages computes, for each distinct config of a platform, the
+// average F-score across all datasets (filtered measurements only).
+func (s *Sweep) perConfigAverages(platform string, filter func(Measurement) bool) []float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, ds := range s.DatasetNames() {
+		for _, m := range s.ByPlatform[platform][ds] {
+			if filter != nil && !filter(m) {
+				continue
+			}
+			key := m.Config.String()
+			sums[key] += m.Scores.F1
+			counts[key]++
+		}
+	}
+	var out []float64
+	for _, key := range sortedKeys(sums) {
+		out = append(out, sums[key]/float64(counts[key]))
+	}
+	return out
+}
+
+func variationPoint(platform, dim string, scores []float64) VariationPoint {
+	vp := VariationPoint{Platform: platform, Dimension: dim, Configs: len(scores)}
+	if len(scores) == 0 {
+		return vp
+	}
+	vp.Supported = true
+	vp.Min, vp.Max = metrics.MinMax(scores)
+	vp.Q1 = stats.Quantile(scores, 0.25)
+	vp.Median = stats.Quantile(scores, 0.5)
+	vp.Q3 = stats.Quantile(scores, 0.75)
+	return vp
+}
+
+// KSubsetPoint is one point of Figure 8: the expected best F-score when a
+// user tries a random subset of k classifiers.
+type KSubsetPoint struct {
+	Platform string  `json:"platform"`
+	K        int     `json:"k"`
+	AvgBestF float64 `json:"avg_best_f1"`
+}
+
+// Fig8 computes, for each platform with classifier choice, the expected
+// maximum F-score over random k-classifier subsets, averaged over datasets
+// (§5.2, Figure 8). The expectation over subsets is computed exactly via
+// order statistics rather than sampling.
+func (s *Sweep) Fig8() []KSubsetPoint {
+	var out []KSubsetPoint
+	for _, p := range s.Platforms() {
+		if !s.dimensionSupported(p, "clf") {
+			continue
+		}
+		// Per dataset: each classifier's best F1 (params tuned, FEAT off —
+		// the classifier-selection experiment of §5.2).
+		perDataset := [][]float64{}
+		for _, ds := range s.DatasetNames() {
+			bests := s.classifierBests(p, ds, func(m Measurement) bool { return m.Config.Feat.Kind == "none" })
+			var vals []float64
+			for _, k := range sortedKeys(bests) {
+				vals = append(vals, bests[k])
+			}
+			sort.Float64s(vals)
+			perDataset = append(perDataset, vals)
+		}
+		if len(perDataset) == 0 || len(perDataset[0]) == 0 {
+			continue
+		}
+		total := len(perDataset[0])
+		for k := 1; k <= total; k++ {
+			sum := 0.0
+			for _, vals := range perDataset {
+				sum += expectedMaxOfSubset(vals, k)
+			}
+			out = append(out, KSubsetPoint{Platform: p, K: k, AvgBestF: sum / float64(len(perDataset))})
+		}
+	}
+	return out
+}
+
+// expectedMaxOfSubset returns E[max of a uniform random k-subset] of the
+// ascending-sorted values, using P(max = i-th value) = C(i-1,k-1)/C(m,k).
+func expectedMaxOfSubset(sortedVals []float64, k int) float64 {
+	m := len(sortedVals)
+	if k >= m {
+		return sortedVals[m-1]
+	}
+	total := binomial(m, k)
+	e := 0.0
+	for i := k; i <= m; i++ {
+		p := binomial(i-1, k-1) / total
+		e += p * sortedVals[i-1]
+	}
+	return e
+}
+
+// binomial computes C(n, k) in floating point (n is small: ≤ #classifiers).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// ClassifierRank is one row of Table 4: a classifier and the fraction of
+// datasets where it was the platform's best choice.
+type ClassifierRank struct {
+	Classifier string  `json:"classifier"`
+	Label      string  `json:"label"`
+	Fraction   float64 `json:"fraction"`
+}
+
+// Table4 ranks classifiers per platform by the fraction of datasets where
+// they achieve the platform's highest F-score, using default parameters
+// (optimized=false, Table 4a) or each classifier's best parameters
+// (optimized=true, Table 4b). FEAT stays off, as in §4.2.
+func (s *Sweep) Table4(platform string, optimized bool) []ClassifierRank {
+	wins := map[string]float64{}
+	nDatasets := 0
+	for _, ds := range s.DatasetNames() {
+		filter := func(m Measurement) bool {
+			if m.Config.Feat.Kind != "none" {
+				return false
+			}
+			if !optimized {
+				return s.hasDefaultParams(m)
+			}
+			return true
+		}
+		bests := s.classifierBests(platform, ds, filter)
+		if len(bests) == 0 {
+			continue
+		}
+		nDatasets++
+		bestVal := math.Inf(-1)
+		for _, v := range bests {
+			if v > bestVal {
+				bestVal = v
+			}
+		}
+		// Ties share the win (each tied classifier counts; the paper's
+		// percentages also do not sum to 100 exactly).
+		for _, name := range sortedKeys(bests) {
+			if bests[name] == bestVal {
+				wins[name]++
+			}
+		}
+	}
+	var out []ClassifierRank
+	for _, name := range sortedKeys(wins) {
+		out = append(out, ClassifierRank{
+			Classifier: name,
+			Label:      classifierLabel(name),
+			Fraction:   wins[name] / float64(nDatasets),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Fraction > out[b].Fraction })
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}

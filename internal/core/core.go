@@ -1,0 +1,7 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// the measurement framework that sweeps every MLaaS platform across the
+// dataset corpus and the analyses that turn the raw measurements into each
+// table and figure of the evaluation — complexity vs. optimized performance
+// (§4), risk and performance variation (§5), and the black-box hidden-
+// optimization study (§6).
+package core

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/metrics"
+)
+
+// Extension: the paper breaks the corpus down by application domain
+// (Figure 3a) but reports performance only in aggregate. This analysis
+// crosses the two: per-domain optimized performance per platform, showing
+// where each service's strengths are concentrated.
+
+// DomainRow is one domain's summary for one platform.
+type DomainRow struct {
+	Domain      dataset.Domain `json:"domain"`
+	Platform    string         `json:"platform"`
+	Datasets    int            `json:"datasets"`
+	OptimizedF1 float64        `json:"optimized_f1"`
+	BaselineF1  float64        `json:"baseline_f1"`
+}
+
+// DomainBreakdown computes per-domain baseline/optimized averages.
+func (s *Sweep) DomainBreakdown() []DomainRow {
+	type key struct {
+		dom  dataset.Domain
+		plat string
+	}
+	opt := map[key][]float64{}
+	base := map[key][]float64{}
+	for _, di := range s.Datasets {
+		for _, p := range s.Platforms() {
+			k := key{di.Domain, p}
+			if m, ok := s.Best(p, di.Name, "f1"); ok {
+				opt[k] = append(opt[k], m.Scores.F1)
+			}
+			if m, ok := s.Baseline(p, di.Name); ok {
+				base[k] = append(base[k], m.Scores.F1)
+			}
+		}
+	}
+	var out []DomainRow
+	for k, vals := range opt {
+		out = append(out, DomainRow{
+			Domain:      k.dom,
+			Platform:    k.plat,
+			Datasets:    len(vals),
+			OptimizedF1: metrics.Mean(vals),
+			BaselineF1:  metrics.Mean(base[k]),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Domain != out[b].Domain {
+			return out[a].Domain < out[b].Domain
+		}
+		return out[a].Platform < out[b].Platform
+	})
+	return out
+}
+
+// WriteDomainBreakdown renders the extension table: rows are domains,
+// columns platforms, cells optimized F1.
+func (s *Sweep) WriteDomainBreakdown(w io.Writer) {
+	rows := s.DomainBreakdown()
+	plats := s.Platforms()
+	fmt.Fprintln(w, "Extension: optimized F-score by application domain (Figure 3a × Figure 4)")
+	fmt.Fprintf(w, "  %-22s %5s", "domain", "#ds")
+	for _, p := range plats {
+		fmt.Fprintf(w, " %12s", p)
+	}
+	fmt.Fprintln(w)
+	cell := map[dataset.Domain]map[string]DomainRow{}
+	var domains []dataset.Domain
+	for _, r := range rows {
+		if cell[r.Domain] == nil {
+			cell[r.Domain] = map[string]DomainRow{}
+			domains = append(domains, r.Domain)
+		}
+		cell[r.Domain][r.Platform] = r
+	}
+	for _, dom := range domains {
+		n := 0
+		for _, r := range cell[dom] {
+			n = r.Datasets
+			break
+		}
+		fmt.Fprintf(w, "  %-22s %5d", dom, n)
+		for _, p := range plats {
+			fmt.Fprintf(w, " %12.3f", cell[dom][p].OptimizedF1)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/synth"
+)
+
+func exploreSplit(t *testing.T) (platforms.Platform, dataset.Split) {
+	t.Helper()
+	ds := synth.GenerateClean(synth.CircleSpec(), synth.Quick, synth.CorpusSeed)
+	sp := ds.StratifiedSplit(0.7, rng.New(11))
+	local, err := platforms.New("local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return local, sp
+}
+
+func TestExploreRandomClassifiers(t *testing.T) {
+	local, sp := exploreSplit(t)
+	res, err := ExploreRandomClassifiers(local, sp, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tried) != 3 {
+		t.Fatalf("tried %v, want 3 classifiers", res.Tried)
+	}
+	found := false
+	for _, name := range res.Tried {
+		if name == res.Config.Classifier {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("winner %s not among tried %v", res.Config.Classifier, res.Tried)
+	}
+	if res.TestF1 <= 0 || res.TestF1 > 1 || res.TrainF1 <= 0 {
+		t.Fatalf("scores %+v", res)
+	}
+}
+
+func TestExploreClampsK(t *testing.T) {
+	local, sp := exploreSplit(t)
+	res, err := ExploreRandomClassifiers(local, sp, 99, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tried) != 10 {
+		t.Fatalf("k=99 should clamp to all 10 classifiers, tried %d", len(res.Tried))
+	}
+	resMin, err := ExploreRandomClassifiers(local, sp, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resMin.Tried) != 1 {
+		t.Fatalf("k=0 should clamp to 1, tried %d", len(resMin.Tried))
+	}
+}
+
+func TestExploreDeterministic(t *testing.T) {
+	local, sp := exploreSplit(t)
+	a, err := ExploreRandomClassifiers(local, sp, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ExploreRandomClassifiers(local, sp, 3, 42)
+	if a.Config.String() != b.Config.String() || a.TestF1 != b.TestF1 {
+		t.Fatal("same seed, different exploration outcome")
+	}
+}
+
+func TestExploreRejectsBlackBox(t *testing.T) {
+	google, err := platforms.New("google")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := exploreSplit(t)
+	if _, err := ExploreRandomClassifiers(google, sp, 3, 1); err == nil {
+		t.Fatal("black box has no classifier choice to explore")
+	}
+}
+
+func TestExploreFullSetBeatsSingleOnCircle(t *testing.T) {
+	// Exploring all classifiers must do at least as well (in expectation
+	// over the train-CV choice) as the worst single pick; concretely on
+	// CIRCLE a full exploration should land a non-linear winner.
+	local, sp := exploreSplit(t)
+	res, err := ExploreRandomClassifiers(local, sp, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestF1 < 0.8 {
+		t.Fatalf("full exploration on CIRCLE reached only %.3f", res.TestF1)
+	}
+}

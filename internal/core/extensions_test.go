@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mlaasbench/internal/synth"
+)
+
+func TestAUCStudy(t *testing.T) {
+	rows, err := AUCStudy(synth.Quick, synth.CorpusSeed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Datasets != 4 {
+			t.Fatalf("%s: %d datasets", r.Platform, r.Datasets)
+		}
+		if r.AvgF1 <= 0 || r.AvgF1 > 1 {
+			t.Fatalf("%s: F1 %v", r.Platform, r.AvgF1)
+		}
+		switch r.Platform {
+		case "bigml", "predictionio":
+			if r.HasScore {
+				t.Errorf("%s should hide scores (§3.2)", r.Platform)
+			}
+			if r.AvgAUC != 0 {
+				t.Errorf("%s: AUC %v despite hidden scores", r.Platform, r.AvgAUC)
+			}
+		default:
+			if !r.HasScore {
+				t.Errorf("%s should expose scores", r.Platform)
+			}
+			if r.AvgAUC <= 0.4 || r.AvgAUC > 1 {
+				t.Errorf("%s: AUC %v", r.Platform, r.AvgAUC)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteAUCStudy(&buf, rows)
+	if !strings.Contains(buf.String(), "hidden") {
+		t.Fatal("AUC report missing hidden-score platforms")
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	pts, err := NoiseRobustness(synth.Quick, synth.CorpusSeed, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 14 { // 7 platforms × 2 levels
+		t.Fatalf("%d points", len(pts))
+	}
+	byPlat := map[string][]NoisePoint{}
+	for _, pt := range pts {
+		byPlat[pt.Platform] = append(byPlat[pt.Platform], pt)
+	}
+	degraded := 0
+	for p, series := range byPlat {
+		if len(series) != 2 {
+			t.Fatalf("%s: %d levels", p, len(series))
+		}
+		if series[1].AvgF1 < series[0].AvgF1 {
+			degraded++
+		}
+	}
+	// Label noise must hurt on (nearly) every platform.
+	if degraded < 6 {
+		t.Fatalf("only %d/7 platforms degraded under 20%% label noise", degraded)
+	}
+	var buf bytes.Buffer
+	WriteNoiseRobustness(&buf, pts)
+	if !strings.Contains(buf.String(), "label noise") {
+		t.Fatal("robustness report malformed")
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlaasbench/internal/classifiers"
+	"mlaasbench/internal/metrics"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/stats"
+)
+
+// The §6.2 methodology: using only (a) knowledge of the dataset and (b) a
+// platform's prediction results, infer whether the platform used a linear
+// or non-linear classifier. A Random Forest meta-classifier is trained per
+// dataset on measurements whose classifier family is known (the user-
+// controllable platforms), with features = aggregated performance metrics +
+// the predicted test labels, and then applied to the black-box platforms.
+
+// FamilyModel is a per-dataset meta-classifier predicting linear (0) vs
+// non-linear (1) from a measurement's metrics and predictions.
+type FamilyModel struct {
+	Dataset   string  `json:"dataset"`
+	ValF1     float64 `json:"val_f1"`
+	TestF1    float64 `json:"test_f1"`
+	Qualified bool    `json:"qualified"` // ValF1 > QualifyThreshold
+	Samples   int     `json:"samples"`
+
+	forest classifiers.Classifier
+}
+
+// QualifyThreshold is the validation F-score a per-dataset family model
+// must exceed to be used against black boxes (§6.2 uses 0.95).
+const QualifyThreshold = 0.95
+
+// metaFeatures flattens one measurement into the meta-classifier's feature
+// vector: the four aggregate metrics followed by the per-sample predictions.
+func metaFeatures(m Measurement) []float64 {
+	out := make([]float64, 0, 4+len(m.Pred))
+	out = append(out, m.Scores.F1, m.Scores.Accuracy, m.Scores.Precision, m.Scores.Recall)
+	for _, p := range m.Pred {
+		out = append(out, float64(p))
+	}
+	return out
+}
+
+// familyLabel returns 1 for non-linear classifiers, 0 for linear, and an
+// error for configs whose family is unknown (black-box "auto").
+func familyLabel(clf string) (int, error) {
+	info, err := classifiers.Lookup(clf)
+	if err != nil {
+		return 0, err
+	}
+	if info.Linear {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+// TrainFamilyModel builds the meta-classifier for one dataset from every
+// family-labeled measurement in the sweep. It requires the sweep to have
+// stored predictions. Measurements are split 50/20/30 into train,
+// validation and test, mirroring the paper's 70(train+val)/30(test).
+func (s *Sweep) TrainFamilyModel(ds string) (*FamilyModel, error) {
+	var x [][]float64
+	var y []int
+	featLen := -1
+	for _, p := range s.Platforms() {
+		if p == "google" || p == "abm" || p == "amazon" {
+			// Amazon's hidden recipe makes its family ambiguous — it is a
+			// *subject* of the inference (§6.2), never training data.
+			continue
+		}
+		for _, m := range s.ByPlatform[p][ds] {
+			lbl, err := familyLabel(m.Config.Classifier)
+			if err != nil {
+				continue
+			}
+			if len(m.Pred) == 0 {
+				return nil, fmt.Errorf("core: sweep has no stored predictions for %s/%s", p, ds)
+			}
+			f := metaFeatures(m)
+			if featLen == -1 {
+				featLen = len(f)
+			}
+			if len(f) != featLen {
+				return nil, fmt.Errorf("core: inconsistent meta-feature width on %s", ds)
+			}
+			x = append(x, f)
+			y = append(y, lbl)
+		}
+	}
+	if len(x) < 10 {
+		return nil, fmt.Errorf("core: only %d family-labeled measurements for %s", len(x), ds)
+	}
+	// Both families must appear or the model is vacuous.
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	if pos == 0 || pos == len(y) {
+		return nil, fmt.Errorf("core: single-family training data for %s", ds)
+	}
+
+	r := rng.New(s.Opts.Seed).Split("family/" + ds)
+	perm := r.Perm(len(x))
+	nTrain := len(x) / 2
+	nVal := len(x) / 5
+	if nTrain < 2 || nVal < 1 || len(x)-nTrain-nVal < 1 {
+		return nil, fmt.Errorf("core: too few measurements (%d) to split for %s", len(x), ds)
+	}
+	gather := func(idx []int) ([][]float64, []int) {
+		gx := make([][]float64, len(idx))
+		gy := make([]int, len(idx))
+		for i, j := range idx {
+			gx[i] = x[j]
+			gy[i] = y[j]
+		}
+		return gx, gy
+	}
+	xTr, yTr := gather(perm[:nTrain])
+	xVal, yVal := gather(perm[nTrain : nTrain+nVal])
+	xTe, yTe := gather(perm[nTrain+nVal:])
+
+	// Model selection as in the paper: train several Random Forest
+	// configurations and keep the best by validation F-score.
+	candidates := []classifiers.Params{
+		{"n_estimators": 40, "max_depth": 16},
+		{"n_estimators": 80, "max_depth": 24},
+		{"n_estimators": 40, "max_depth": 16, "max_features": "log2"},
+		{"n_estimators": 60, "max_depth": 8, "min_samples_leaf": 3},
+	}
+	var best classifiers.Classifier
+	bestVal := -1.0
+	for ci, params := range candidates {
+		forest, err := classifiers.New("randomforest", params)
+		if err != nil {
+			return nil, err
+		}
+		if err := forest.Fit(xTr, yTr, r.Split(fmt.Sprintf("fit/%d", ci))); err != nil {
+			return nil, fmt.Errorf("core: meta-classifier fit on %s: %w", ds, err)
+		}
+		valScores, err := metrics.Score(yVal, forest.Predict(xVal))
+		if err != nil {
+			return nil, err
+		}
+		if valScores.F1 > bestVal {
+			bestVal = valScores.F1
+			best = forest
+		}
+	}
+	testScores, err := metrics.Score(yTe, best.Predict(xTe))
+	if err != nil {
+		return nil, err
+	}
+	fm := &FamilyModel{
+		Dataset:   ds,
+		ValF1:     bestVal,
+		TestF1:    testScores.F1,
+		Qualified: bestVal > QualifyThreshold,
+		Samples:   len(x),
+		forest:    best,
+	}
+	return fm, nil
+}
+
+// PredictFamily classifies one measurement as non-linear (true) or linear.
+func (fm *FamilyModel) PredictFamily(m Measurement) (nonLinear bool, err error) {
+	if fm.forest == nil {
+		return false, fmt.Errorf("core: family model for %s not trained", fm.Dataset)
+	}
+	if len(m.Pred) == 0 {
+		return false, fmt.Errorf("core: measurement has no stored predictions")
+	}
+	pred := fm.forest.Predict([][]float64{metaFeatures(m)})
+	return pred[0] == 1, nil
+}
+
+// InferenceReport aggregates the §6.2 analysis across the corpus.
+type InferenceReport struct {
+	Models []FamilyModel `json:"models"`
+	// Qualified lists the dataset names whose models pass the threshold.
+	Qualified []string `json:"qualified"`
+	// Choices[platform][dataset] = true if predicted non-linear, for each
+	// qualified dataset.
+	Choices map[string]map[string]bool `json:"choices"`
+	// LinearCount/NonLinearCount per black-box platform.
+	LinearCount    map[string]int `json:"linear_count"`
+	NonLinearCount map[string]int `json:"nonlinear_count"`
+	// Agreement: datasets where Google and ABM picked the same family.
+	Agreement    int `json:"agreement"`
+	Disagreement int `json:"disagreement"`
+}
+
+// ValidationCDF returns the Figure-12 series: the empirical CDF of
+// per-dataset validation F-scores of the family models.
+func (r *InferenceReport) ValidationCDF() []stats.CDFPoint {
+	var vals []float64
+	for _, m := range r.Models {
+		vals = append(vals, m.ValF1)
+	}
+	return stats.ECDF(vals)
+}
+
+// InferFamilies runs the full §6.2 pipeline: train a family model per
+// dataset, keep the qualified ones, and classify each black-box platform's
+// per-dataset behaviour as linear or non-linear. subjects defaults to
+// google, abm and amazon.
+func (s *Sweep) InferFamilies(subjects []string) (*InferenceReport, error) {
+	if len(subjects) == 0 {
+		subjects = []string{"google", "abm", "amazon"}
+	}
+	rep := &InferenceReport{
+		Choices:        map[string]map[string]bool{},
+		LinearCount:    map[string]int{},
+		NonLinearCount: map[string]int{},
+	}
+	for _, sub := range subjects {
+		rep.Choices[sub] = map[string]bool{}
+	}
+	for _, ds := range s.DatasetNames() {
+		fm, err := s.TrainFamilyModel(ds)
+		if err != nil {
+			continue // dataset lacks usable training data; skip like the paper's non-qualifying sets
+		}
+		rep.Models = append(rep.Models, *fm)
+		if !fm.Qualified {
+			continue
+		}
+		rep.Qualified = append(rep.Qualified, ds)
+		for _, sub := range subjects {
+			ms := s.ByPlatform[sub][ds]
+			if len(ms) == 0 {
+				continue
+			}
+			// Black boxes have one measurement; Amazon may have several —
+			// classify its baseline, as the paper examines default runs.
+			m := ms[0]
+			for _, cand := range ms {
+				if cand.Baseline {
+					m = cand
+					break
+				}
+			}
+			nonLinear, err := fm.PredictFamily(m)
+			if err != nil {
+				continue
+			}
+			rep.Choices[sub][ds] = nonLinear
+			if nonLinear {
+				rep.NonLinearCount[sub]++
+			} else {
+				rep.LinearCount[sub]++
+			}
+		}
+	}
+	for _, ds := range rep.Qualified {
+		g, okG := rep.Choices["google"][ds]
+		a, okA := rep.Choices["abm"][ds]
+		if okG && okA {
+			if g == a {
+				rep.Agreement++
+			} else {
+				rep.Disagreement++
+			}
+		}
+	}
+	sort.Strings(rep.Qualified)
+	return rep, nil
+}
+
+// FamilyCDFs returns the Figure-11 series for one dataset: the empirical
+// CDFs of F-scores achieved by linear vs non-linear classifiers across the
+// user platforms' measurements.
+func (s *Sweep) FamilyCDFs(ds string) (linear, nonLinear []stats.CDFPoint) {
+	var lin, non []float64
+	for _, p := range s.Platforms() {
+		if p == "google" || p == "abm" || p == "amazon" {
+			continue
+		}
+		for _, m := range s.ByPlatform[p][ds] {
+			lbl, err := familyLabel(m.Config.Classifier)
+			if err != nil {
+				continue
+			}
+			if lbl == 0 {
+				lin = append(lin, m.Scores.F1)
+			} else {
+				non = append(non, m.Scores.F1)
+			}
+		}
+	}
+	return stats.ECDF(lin), stats.ECDF(non)
+}

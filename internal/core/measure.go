@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mlaasbench/internal/classifiers"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/metrics"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/synth"
+)
+
+// Options configures a measurement sweep.
+type Options struct {
+	// Profile controls dataset sizes (synth.Quick or synth.Full).
+	Profile synth.Profile
+	// Seed roots all randomness; identical options ⇒ identical sweeps.
+	Seed uint64
+	// MaxDatasets truncates the corpus (0 = all 119) for smoke runs.
+	MaxDatasets int
+	// Platforms restricts the sweep (nil = all seven).
+	Platforms []string
+	// StorePredictions keeps each config's test-set predictions in the
+	// measurements — required by the §6.2 classifier-family inference.
+	StorePredictions bool
+	// Progress, if non-nil, receives one line per (platform, dataset).
+	Progress func(string)
+}
+
+// DefaultOptions returns the standard quick-profile sweep configuration.
+func DefaultOptions() Options {
+	return Options{Profile: synth.Quick, Seed: synth.CorpusSeed, StorePredictions: true}
+}
+
+// Measurement is one observed (platform, dataset, config) outcome —
+// the unit every analysis consumes.
+type Measurement struct {
+	Platform string          `json:"platform"`
+	Dataset  string          `json:"dataset"`
+	Config   pipeline.Config `json:"config"`
+	Scores   metrics.Scores  `json:"scores"`
+	// Baseline marks the platform's zero-control configuration (§3.2).
+	Baseline bool `json:"baseline,omitempty"`
+	// Pred holds the test-set predictions when StorePredictions is set
+	// (serialized as base64 in JSON).
+	Pred []uint8 `json:"pred,omitempty"`
+	// Micros is the wall-clock cost of the train+predict call. The paper
+	// leaves training time to future work (§8); we record it as an
+	// extension dimension.
+	Micros int64 `json:"micros,omitempty"`
+}
+
+// DatasetInfo is the per-dataset context the analyses need.
+type DatasetInfo struct {
+	Name   string         `json:"name"`
+	Domain dataset.Domain `json:"domain"`
+	N      int            `json:"n"`
+	D      int            `json:"d"`
+	Linear bool           `json:"linear"` // generator ground truth
+	TestY  []int          `json:"test_y"`
+	// Split holds the in-memory train/test partition; it is regenerable
+	// from (name, seed, profile) and therefore not persisted.
+	Split dataset.Split `json:"-"`
+}
+
+// Sweep holds a completed measurement campaign.
+type Sweep struct {
+	Opts     Options
+	Datasets []DatasetInfo
+	// ByPlatform[platform][dataset] lists every measurement taken.
+	ByPlatform map[string]map[string][]Measurement
+}
+
+// RunSweep generates the corpus, splits each dataset 70/30 (§3.1) and
+// measures every configuration of every requested platform on every
+// dataset. The context cancels the sweep between units of work.
+func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
+	if opts.Profile.Name == "" {
+		opts.Profile = synth.Quick
+	}
+	if opts.Seed == 0 {
+		opts.Seed = synth.CorpusSeed
+	}
+	names := opts.Platforms
+	if len(names) == 0 {
+		names = platforms.Names()
+	}
+	plats := make([]platforms.Platform, 0, len(names))
+	for _, n := range names {
+		p, err := platforms.New(n)
+		if err != nil {
+			return nil, err
+		}
+		plats = append(plats, p)
+	}
+
+	specs := synth.Corpus()
+	if opts.MaxDatasets > 0 && opts.MaxDatasets < len(specs) {
+		specs = specs[:opts.MaxDatasets]
+	}
+
+	sw := &Sweep{
+		Opts:       opts,
+		ByPlatform: make(map[string]map[string][]Measurement, len(plats)),
+	}
+	for _, p := range plats {
+		sw.ByPlatform[p.Name()] = make(map[string][]Measurement, len(specs))
+	}
+
+	splitRNG := rng.New(opts.Seed).Split("splits")
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: sweep cancelled: %w", err)
+		}
+		ds := synth.GenerateClean(spec, opts.Profile, opts.Seed)
+		sp := ds.StratifiedSplit(0.7, splitRNG.Split(ds.Name))
+		sw.Datasets = append(sw.Datasets, DatasetInfo{
+			Name:   ds.Name,
+			Domain: ds.Domain,
+			N:      ds.N(),
+			D:      ds.D(),
+			Linear: ds.Linear,
+			TestY:  sp.Test.Y,
+			Split:  sp,
+		})
+		for _, p := range plats {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: sweep cancelled: %w", err)
+			}
+			ms, err := measurePlatform(p, sp, ds.Name, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", p.Name(), ds.Name, err)
+			}
+			sw.ByPlatform[p.Name()][ds.Name] = ms
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("%-14s %-24s %d configs", p.Name(), ds.Name, len(ms)))
+			}
+		}
+	}
+	return sw, nil
+}
+
+// measurePlatform runs every configuration of one platform on one split.
+func measurePlatform(p platforms.Platform, sp dataset.Split, dsName string, opts Options) ([]Measurement, error) {
+	// Black boxes: a single automatic measurement, which is its own
+	// baseline and optimum.
+	if p.BaselineClassifier() == "" {
+		start := time.Now()
+		res, err := p.Run(pipeline.Config{}, sp.Train, sp.Test, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m := Measurement{
+			Platform: p.Name(), Dataset: dsName, Config: res.Config,
+			Scores: res.Scores, Baseline: true, Micros: time.Since(start).Microseconds(),
+		}
+		if opts.StorePredictions {
+			m.Pred = packPred(res.Pred)
+		}
+		return []Measurement{m}, nil
+	}
+
+	baseCfg, err := p.Surface().DefaultConfig(p.BaselineClassifier())
+	if err != nil {
+		return nil, err
+	}
+	baseKey := baseCfg.String()
+	var out []Measurement
+	for _, cfg := range pipeline.Enumerate(p.Surface()) {
+		start := time.Now()
+		res, err := p.Run(cfg, sp.Train, sp.Test, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m := Measurement{
+			Platform: p.Name(),
+			Dataset:  dsName,
+			Config:   cfg,
+			Scores:   res.Scores,
+			Baseline: cfg.String() == baseKey,
+			Micros:   time.Since(start).Microseconds(),
+		}
+		if opts.StorePredictions {
+			m.Pred = packPred(res.Pred)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func packPred(pred []int) []uint8 {
+	out := make([]uint8, len(pred))
+	for i, v := range pred {
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+// Platforms returns the platform names present in the sweep, in complexity
+// order.
+func (s *Sweep) Platforms() []string {
+	var out []string
+	for _, name := range platforms.Names() {
+		if _, ok := s.ByPlatform[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// DatasetNames returns the measured dataset names in corpus order.
+func (s *Sweep) DatasetNames() []string {
+	out := make([]string, len(s.Datasets))
+	for i, d := range s.Datasets {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Dataset returns the DatasetInfo by name.
+func (s *Sweep) Dataset(name string) (DatasetInfo, bool) {
+	for _, d := range s.Datasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DatasetInfo{}, false
+}
+
+// Baseline returns the baseline measurement of a platform on a dataset.
+func (s *Sweep) Baseline(platform, ds string) (Measurement, bool) {
+	for _, m := range s.ByPlatform[platform][ds] {
+		if m.Baseline {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Best returns the measurement with the highest value of the named metric
+// for a platform on a dataset (the per-dataset "optimized" outcome, §4.1).
+func (s *Sweep) Best(platform, ds, metric string) (Measurement, bool) {
+	best := Measurement{}
+	found := false
+	bestVal := -1.0
+	for _, m := range s.ByPlatform[platform][ds] {
+		v, err := m.Scores.Get(metric)
+		if err != nil {
+			return Measurement{}, false
+		}
+		if v > bestVal {
+			bestVal = v
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ConfigCount returns the number of measured configurations per dataset for
+// a platform (Table 2's scale column, per dataset).
+func (s *Sweep) ConfigCount(platform string) int {
+	for _, ms := range s.ByPlatform[platform] {
+		return len(ms)
+	}
+	return 0
+}
+
+// classifierBests returns, for one platform and dataset, each classifier's
+// best F-score over the given measurement filter.
+func (s *Sweep) classifierBests(platform, ds string, filter func(Measurement) bool) map[string]float64 {
+	bests := map[string]float64{}
+	for _, m := range s.ByPlatform[platform][ds] {
+		if filter != nil && !filter(m) {
+			continue
+		}
+		name := m.Config.Classifier
+		if v, ok := bests[name]; !ok || m.Scores.F1 > v {
+			bests[name] = m.Scores.F1
+		}
+	}
+	return bests
+}
+
+// sortedKeys returns map keys in sorted order (deterministic iteration).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classifierLabel renders a classifier's paper abbreviation (LR, BST, ...).
+func classifierLabel(name string) string {
+	if name == "auto" {
+		return "AUTO"
+	}
+	info, err := classifiers.Lookup(name)
+	if err != nil {
+		return name
+	}
+	return info.Label
+}

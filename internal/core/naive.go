@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"mlaasbench/internal/stats"
+)
+
+// The §6.3 analysis: a deliberately naïve classifier-selection strategy —
+// train a default Logistic Regression and a default Decision Tree, keep
+// whichever scores higher — compared against the black boxes' hidden
+// choices. Where the naïve strategy wins, the platform's automatic choice
+// had room to improve.
+
+// NaiveChoice is the naïve strategy's outcome on one dataset.
+type NaiveChoice struct {
+	Dataset   string  `json:"dataset"`
+	NonLinear bool    `json:"nonlinear"` // true when the Decision Tree won
+	F1        float64 `json:"f1"`
+}
+
+// NaiveStrategy evaluates the naïve LR-vs-DT switch on every dataset using
+// the local platform's measurements (both candidates are default-parameter,
+// FEAT-off configs, which the sweep always contains).
+func (s *Sweep) NaiveStrategy() ([]NaiveChoice, error) {
+	local, ok := s.ByPlatform["local"]
+	if !ok {
+		return nil, fmt.Errorf("core: naive strategy needs the local platform in the sweep")
+	}
+	var out []NaiveChoice
+	for _, ds := range s.DatasetNames() {
+		var lrF1, dtF1 float64
+		var haveLR, haveDT bool
+		for _, m := range local[ds] {
+			if m.Config.Feat.Kind != "none" || !s.hasDefaultParams(m) {
+				continue
+			}
+			switch m.Config.Classifier {
+			case "logreg":
+				lrF1, haveLR = m.Scores.F1, true
+			case "dtree":
+				dtF1, haveDT = m.Scores.F1, true
+			}
+		}
+		if !haveLR || !haveDT {
+			return nil, fmt.Errorf("core: missing default LR/DT measurements on %s", ds)
+		}
+		choice := NaiveChoice{Dataset: ds, F1: lrF1}
+		if dtF1 > lrF1 {
+			choice.NonLinear = true
+			choice.F1 = dtF1
+		}
+		out = append(out, choice)
+	}
+	return out, nil
+}
+
+// NaiveComparison is the Table-6 / Figure-14 analysis against one black-box
+// platform.
+type NaiveComparison struct {
+	Platform string `json:"platform"`
+	// Wins counts qualified datasets where the naïve strategy beat the
+	// platform, broken down by (platform family, naive family):
+	// [platformNonLinear][naiveNonLinear].
+	Wins [2][2]int `json:"wins"`
+	// Gaps lists the F-score differences (naive − platform) on datasets
+	// where the naïve strategy won with a *different* family (Fig 14).
+	Gaps []float64 `json:"gaps"`
+	// TotalQualified is the number of qualified datasets compared.
+	TotalQualified int `json:"total_qualified"`
+	// TotalWins is the number of those where the naïve strategy won.
+	TotalWins int `json:"total_wins"`
+	// AvgGapDifferentFamily averages Gaps (0 when empty).
+	AvgGapDifferentFamily float64 `json:"avg_gap_different_family"`
+}
+
+// CompareNaive runs the §6.3 comparison of the naïve strategy against a
+// black-box platform over the inference report's qualified datasets.
+func (s *Sweep) CompareNaive(platform string, rep *InferenceReport) (*NaiveComparison, error) {
+	choices, err := s.NaiveStrategy()
+	if err != nil {
+		return nil, err
+	}
+	byDS := map[string]NaiveChoice{}
+	for _, c := range choices {
+		byDS[c.Dataset] = c
+	}
+	cmp := &NaiveComparison{Platform: platform}
+	for _, ds := range rep.Qualified {
+		platNonLinear, ok := rep.Choices[platform][ds]
+		if !ok {
+			continue
+		}
+		nc, ok := byDS[ds]
+		if !ok {
+			continue
+		}
+		ms := s.ByPlatform[platform][ds]
+		if len(ms) == 0 {
+			continue
+		}
+		platF1 := ms[0].Scores.F1
+		cmp.TotalQualified++
+		if nc.F1 <= platF1 {
+			continue
+		}
+		cmp.TotalWins++
+		pi, ni := 0, 0
+		if platNonLinear {
+			pi = 1
+		}
+		if nc.NonLinear {
+			ni = 1
+		}
+		cmp.Wins[pi][ni]++
+		if platNonLinear != nc.NonLinear {
+			cmp.Gaps = append(cmp.Gaps, nc.F1-platF1)
+		}
+	}
+	if len(cmp.Gaps) > 0 {
+		sum := 0.0
+		for _, g := range cmp.Gaps {
+			sum += g
+		}
+		cmp.AvgGapDifferentFamily = sum / float64(len(cmp.Gaps))
+	}
+	return cmp, nil
+}
+
+// GapCDF returns the Figure-14 series: the CDF of F-score differences where
+// the naïve strategy beat the platform with a different classifier family.
+func (c *NaiveComparison) GapCDF() []stats.CDFPoint { return stats.ECDF(c.Gaps) }
+
+// SwitchIsBestCount implements the §6.3 "when is switching the best
+// option?" check: among qualified datasets where the naïve strategy beat
+// the platform with a different family, count those where the naïve F1
+// also exceeds the *optimal* score of the platform-chosen family on the
+// local platform — i.e. no amount of parameter/FEAT tuning within the
+// chosen family would have closed the gap, so switching family was the only
+// fix.
+func (s *Sweep) SwitchIsBestCount(platform string, rep *InferenceReport) (int, error) {
+	choices, err := s.NaiveStrategy()
+	if err != nil {
+		return 0, err
+	}
+	byDS := map[string]NaiveChoice{}
+	for _, c := range choices {
+		byDS[c.Dataset] = c
+	}
+	count := 0
+	for _, ds := range rep.Qualified {
+		platNonLinear, ok := rep.Choices[platform][ds]
+		if !ok {
+			continue
+		}
+		nc := byDS[ds]
+		ms := s.ByPlatform[platform][ds]
+		if len(ms) == 0 || nc.F1 <= ms[0].Scores.F1 || platNonLinear == nc.NonLinear {
+			continue
+		}
+		// Optimal F1 of the platform-chosen family across every local
+		// config (any FEAT, any params).
+		bestChosenFamily := 0.0
+		for _, m := range s.ByPlatform["local"][ds] {
+			lbl, err := familyLabel(m.Config.Classifier)
+			if err != nil {
+				continue
+			}
+			if (lbl == 1) != platNonLinear {
+				continue
+			}
+			if m.Scores.F1 > bestChosenFamily {
+				bestChosenFamily = m.Scores.F1
+			}
+		}
+		if nc.F1 > bestChosenFamily {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNaiveStrategyChoices(t *testing.T) {
+	sw := testSweep(t)
+	choices, err := sw.NaiveStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(sw.Datasets) {
+		t.Fatalf("%d choices for %d datasets", len(choices), len(sw.Datasets))
+	}
+	sawLinear, sawNonLinear := false, false
+	for _, c := range choices {
+		if c.F1 < 0 || c.F1 > 1 {
+			t.Fatalf("%s: F1 %v", c.Dataset, c.F1)
+		}
+		if c.NonLinear {
+			sawNonLinear = true
+		} else {
+			sawLinear = true
+		}
+	}
+	// Across a mixed corpus slice, the naive strategy should pick both
+	// families at least once — otherwise it is not switching at all.
+	if !sawLinear || !sawNonLinear {
+		t.Errorf("naive strategy never switched: linear=%v nonlinear=%v", sawLinear, sawNonLinear)
+	}
+}
+
+func TestNaiveChoiceTakesBetterCandidate(t *testing.T) {
+	sw := testSweep(t)
+	choices, err := sw.NaiveStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range choices {
+		var lr, dt float64
+		for _, m := range sw.ByPlatform["local"][c.Dataset] {
+			if m.Config.Feat.Kind != "none" || !sw.hasDefaultParams(m) {
+				continue
+			}
+			switch m.Config.Classifier {
+			case "logreg":
+				lr = m.Scores.F1
+			case "dtree":
+				dt = m.Scores.F1
+			}
+		}
+		wantF1 := lr
+		if dt > lr {
+			wantF1 = dt
+		}
+		if c.F1 != wantF1 {
+			t.Fatalf("%s: naive F1 %v, want max(LR %v, DT %v)", c.Dataset, c.F1, lr, dt)
+		}
+		if c.NonLinear != (dt > lr) {
+			t.Fatalf("%s: choice %v inconsistent with scores", c.Dataset, c.NonLinear)
+		}
+	}
+}
+
+func TestNaiveStrategyRequiresLocal(t *testing.T) {
+	sw := &Sweep{ByPlatform: map[string]map[string][]Measurement{}}
+	if _, err := sw.NaiveStrategy(); err == nil {
+		t.Fatal("expected error without local platform")
+	}
+}
+
+func TestCompareNaive(t *testing.T) {
+	sw := testSweep(t)
+	rep, err := sw.InferFamilies(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"google", "abm"} {
+		cmp, err := sw.CompareNaive(p, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		winsSum := cmp.Wins[0][0] + cmp.Wins[0][1] + cmp.Wins[1][0] + cmp.Wins[1][1]
+		if winsSum != cmp.TotalWins {
+			t.Fatalf("%s: wins matrix sums to %d, total %d", p, winsSum, cmp.TotalWins)
+		}
+		if cmp.TotalWins > cmp.TotalQualified {
+			t.Fatalf("%s: more wins than comparisons", p)
+		}
+		for _, g := range cmp.Gaps {
+			if g <= 0 {
+				t.Fatalf("%s: non-positive winning gap %v", p, g)
+			}
+		}
+		switchBest, err := sw.SwitchIsBestCount(p, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if switchBest > len(cmp.Gaps) {
+			t.Fatalf("%s: switch-is-best %d exceeds different-family wins %d", p, switchBest, len(cmp.Gaps))
+		}
+		var buf bytes.Buffer
+		WriteNaive(&buf, cmp, switchBest)
+		if !strings.Contains(buf.String(), "Table 6") || !strings.Contains(buf.String(), "Figure 14") {
+			t.Fatal("naive report missing sections")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mlaasbench/internal/stats"
+)
+
+// The paper's §8 leaves training time and cost to future work. The sweep
+// records wall-clock per measurement, so this extension analysis reports
+// the time dimension: per-platform cost distributions and the
+// time-vs-performance frontier across classifiers.
+
+// TimeCostRow summarizes one platform's per-measurement wall-clock cost.
+type TimeCostRow struct {
+	Platform     string  `json:"platform"`
+	MedianMicros float64 `json:"median_micros"`
+	P90Micros    float64 `json:"p90_micros"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Measurements int     `json:"measurements"`
+}
+
+// TimeCost computes per-platform cost summaries from the sweep's recorded
+// timings.
+func (s *Sweep) TimeCost() []TimeCostRow {
+	var out []TimeCostRow
+	for _, p := range s.Platforms() {
+		var micros []float64
+		total := 0.0
+		for _, ds := range s.DatasetNames() {
+			for _, m := range s.ByPlatform[p][ds] {
+				micros = append(micros, float64(m.Micros))
+				total += float64(m.Micros)
+			}
+		}
+		row := TimeCostRow{Platform: p, Measurements: len(micros)}
+		if len(micros) > 0 {
+			row.MedianMicros = stats.Quantile(micros, 0.5)
+			row.P90Micros = stats.Quantile(micros, 0.9)
+			row.TotalSeconds = total / 1e6
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ClassifierCost is one point of the time-vs-performance frontier: a
+// classifier's median training cost and mean F-score across the corpus.
+type ClassifierCost struct {
+	Classifier   string  `json:"classifier"`
+	Label        string  `json:"label"`
+	MedianMicros float64 `json:"median_micros"`
+	MeanF1       float64 `json:"mean_f1"`
+}
+
+// ClassifierFrontier computes, over the local platform's default-parameter
+// runs, each classifier's cost and quality — the tradeoff a practitioner
+// faces when picking a classifier under a time budget.
+func (s *Sweep) ClassifierFrontier() []ClassifierCost {
+	type acc struct {
+		micros []float64
+		f1Sum  float64
+		n      int
+	}
+	byClf := map[string]*acc{}
+	for _, ds := range s.DatasetNames() {
+		for _, m := range s.ByPlatform["local"][ds] {
+			if m.Config.Feat.Kind != "none" || !s.hasDefaultParams(m) {
+				continue
+			}
+			a := byClf[m.Config.Classifier]
+			if a == nil {
+				a = &acc{}
+				byClf[m.Config.Classifier] = a
+			}
+			a.micros = append(a.micros, float64(m.Micros))
+			a.f1Sum += m.Scores.F1
+			a.n++
+		}
+	}
+	var out []ClassifierCost
+	for _, name := range sortedKeys(byClf) {
+		a := byClf[name]
+		cc := ClassifierCost{Classifier: name, Label: classifierLabel(name)}
+		if a.n > 0 {
+			cc.MedianMicros = stats.Quantile(a.micros, 0.5)
+			cc.MeanF1 = a.f1Sum / float64(a.n)
+		}
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].MedianMicros < out[b].MedianMicros })
+	return out
+}
+
+// WriteTimeCost renders the extension analysis.
+func (s *Sweep) WriteTimeCost(w io.Writer) {
+	fmt.Fprintln(w, "Extension (§8 future work): training-time cost per platform")
+	fmt.Fprintf(w, "  %-14s %12s %12s %12s %10s\n", "platform", "median(µs)", "p90(µs)", "total(s)", "#measures")
+	for _, r := range s.TimeCost() {
+		fmt.Fprintf(w, "  %-14s %12.0f %12.0f %12.1f %10d\n",
+			r.Platform, r.MedianMicros, r.P90Micros, r.TotalSeconds, r.Measurements)
+	}
+	fmt.Fprintln(w, "Extension: classifier time-vs-performance frontier (local, defaults)")
+	fmt.Fprintf(w, "  %-14s %12s %10s\n", "classifier", "median(µs)", "mean F1")
+	for _, c := range s.ClassifierFrontier() {
+		fmt.Fprintf(w, "  %-14s %12.0f %10.3f\n", c.Label, c.MedianMicros, c.MeanF1)
+	}
+}

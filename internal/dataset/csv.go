@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the dataset with a header row. Feature columns come
+// first (named f0..fN-1 when Columns is empty), the label column is last and
+// named "label". Missing values are written as empty fields.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	width := d.D()
+	header := make([]string, width+1)
+	for j := 0; j < width; j++ {
+		if len(d.Columns) > 0 {
+			header[j] = d.Columns[j]
+		} else {
+			header[j] = fmt.Sprintf("f%d", j)
+		}
+	}
+	header[width] = "label"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, width+1)
+	for i, row := range d.X {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				rec[j] = ""
+			} else {
+				rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		rec[width] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset in the WriteCSV format: a header whose last
+// column is the label, feature values as floats (empty = missing), labels
+// as 0/1.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: header has %d columns, need at least 2", len(header))
+	}
+	if got := header[len(header)-1]; !strings.EqualFold(got, "label") {
+		return nil, fmt.Errorf("dataset: last column is %q, want \"label\"", got)
+	}
+	width := len(header) - 1
+	d := &Dataset{Name: name, Columns: append([]string(nil), header[:width]...)}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != width+1 {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), width+1)
+		}
+		row := make([]float64, width)
+		for j := 0; j < width; j++ {
+			f := strings.TrimSpace(rec[j])
+			if f == "" {
+				row[j] = Missing
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, j, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.Atoi(strings.TrimSpace(rec[width]))
+		if err != nil || (y != 0 && y != 1) {
+			return nil, fmt.Errorf("dataset: line %d: invalid label %q", line, rec[width])
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,364 @@
+// Package dataset defines the labeled-dataset representation shared by the
+// whole reproduction: a numeric feature matrix with binary labels, plus the
+// preprocessing the paper applies locally before uploading to any platform
+// (§3.1): categorical→ordinal mapping, median imputation of missing values,
+// and a stratified 70/30 train/test split.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlaasbench/internal/rng"
+)
+
+// Domain is the application domain a dataset belongs to (Figure 3a).
+type Domain string
+
+// Application domains from Figure 3(a) of the paper.
+const (
+	DomainLifeScience Domain = "Life Science"
+	DomainComputer    Domain = "Computer & Games"
+	DomainSynthetic   Domain = "Synthetic"
+	DomainSocial      Domain = "Social Science"
+	DomainPhysical    Domain = "Physical Science"
+	DomainFinancial   Domain = "Financial & Business"
+	DomainOther       Domain = "Other"
+)
+
+// Missing is the sentinel encoding a missing feature value in raw data.
+// Impute replaces it before any classifier sees the matrix.
+var Missing = math.NaN()
+
+// FeatureKind distinguishes numeric from categorical raw features.
+type FeatureKind int
+
+// Feature kinds.
+const (
+	Numeric FeatureKind = iota
+	Categorical
+)
+
+// Dataset is a labeled binary-classification dataset. X is row-major:
+// X[i] is sample i's feature vector; Y[i] ∈ {0, 1}.
+type Dataset struct {
+	Name    string
+	Domain  Domain
+	X       [][]float64
+	Y       []int
+	Kinds   []FeatureKind // len = #features; empty means all numeric
+	Columns []string      // optional feature names
+
+	// Linear records whether the generator considers the underlying
+	// concept linearly separable; used as ground truth in §6 analyses.
+	// Zero value false simply means "not known linear".
+	Linear bool
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int { return len(d.X) }
+
+// D returns the number of features (0 for an empty dataset).
+func (d *Dataset) D() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural invariants: rectangular X, labels in {0,1},
+// matching lengths, and kind/column arity.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset %q: %d samples but %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	w := d.D()
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("dataset %q: row %d has %d features, want %d", d.Name, i, len(row), w)
+		}
+	}
+	for i, y := range d.Y {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("dataset %q: label %d is %d, want 0 or 1", d.Name, i, y)
+		}
+	}
+	if len(d.Kinds) != 0 && len(d.Kinds) != w {
+		return fmt.Errorf("dataset %q: %d kinds for %d features", d.Name, len(d.Kinds), w)
+	}
+	if len(d.Columns) != 0 && len(d.Columns) != w {
+		return fmt.Errorf("dataset %q: %d column names for %d features", d.Name, len(d.Columns), w)
+	}
+	return nil
+}
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Name:   d.Name,
+		Domain: d.Domain,
+		X:      make([][]float64, len(d.X)),
+		Y:      append([]int(nil), d.Y...),
+		Linear: d.Linear,
+	}
+	for i, row := range d.X {
+		c.X[i] = append([]float64(nil), row...)
+	}
+	if d.Kinds != nil {
+		c.Kinds = append([]FeatureKind(nil), d.Kinds...)
+	}
+	if d.Columns != nil {
+		c.Columns = append([]string(nil), d.Columns...)
+	}
+	return c
+}
+
+// ClassBalance returns the fraction of positive (label 1) samples.
+func (d *Dataset) ClassBalance() float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, y := range d.Y {
+		pos += y
+	}
+	return float64(pos) / float64(len(d.Y))
+}
+
+// HasMissing reports whether any feature value is the Missing sentinel.
+func (d *Dataset) HasMissing() bool {
+	for _, row := range d.X {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Impute replaces missing values with the per-feature median of the observed
+// values, in place, following the paper's preprocessing (§3.1). Features
+// with no observed values are imputed with 0.
+func (d *Dataset) Impute() {
+	w := d.D()
+	for j := 0; j < w; j++ {
+		var observed []float64
+		for i := range d.X {
+			if v := d.X[i][j]; !math.IsNaN(v) {
+				observed = append(observed, v)
+			}
+		}
+		if len(observed) == len(d.X) {
+			continue // nothing missing in this column
+		}
+		med := 0.0
+		if len(observed) > 0 {
+			med = median(observed)
+		}
+		for i := range d.X {
+			if math.IsNaN(d.X[i][j]) {
+				d.X[i][j] = med
+			}
+		}
+	}
+}
+
+// ImputeConstant replaces every missing value with v — the naive
+// alternative to median imputation, kept for the DESIGN.md ablation.
+func (d *Dataset) ImputeConstant(v float64) {
+	for i := range d.X {
+		for j := range d.X[i] {
+			if math.IsNaN(d.X[i][j]) {
+				d.X[i][j] = v
+			}
+		}
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// EncodeCategorical re-encodes each categorical feature's distinct values as
+// ordinals {1..N} in order of first appearance, matching the paper's
+// {C1,...,CN} → {1,...,N} convention (§3.1). Numeric features and missing
+// values are left untouched. After encoding, all Kinds become Numeric.
+func (d *Dataset) EncodeCategorical() {
+	if len(d.Kinds) == 0 {
+		return
+	}
+	for j, kind := range d.Kinds {
+		if kind != Categorical {
+			continue
+		}
+		codes := map[float64]float64{}
+		next := 1.0
+		for i := range d.X {
+			v := d.X[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			code, ok := codes[v]
+			if !ok {
+				code = next
+				codes[v] = code
+				next++
+			}
+			d.X[i][j] = code
+		}
+		d.Kinds[j] = Numeric
+	}
+}
+
+// Split holds a train/test partition of a dataset.
+type Split struct {
+	Train, Test *Dataset
+}
+
+// StratifiedSplit partitions the dataset into train/test with the given
+// train fraction, preserving the class ratio in both parts. The paper uses
+// a random 70/30 split (§3.1). The split is deterministic given r.
+func (d *Dataset) StratifiedSplit(trainFrac float64, r *rng.RNG) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("dataset: train fraction %v outside (0,1)", trainFrac))
+	}
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	r.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	r.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+
+	nPosTrain := int(math.Round(trainFrac * float64(len(pos))))
+	nNegTrain := int(math.Round(trainFrac * float64(len(neg))))
+	// Keep at least one sample of each present class on each side when
+	// possible, so tiny datasets stay trainable and testable.
+	if len(pos) >= 2 {
+		nPosTrain = clampInt(nPosTrain, 1, len(pos)-1)
+	}
+	if len(neg) >= 2 {
+		nNegTrain = clampInt(nNegTrain, 1, len(neg)-1)
+	}
+
+	trainIdx := append(append([]int(nil), pos[:nPosTrain]...), neg[:nNegTrain]...)
+	testIdx := append(append([]int(nil), pos[nPosTrain:]...), neg[nNegTrain:]...)
+	r.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+	r.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
+
+	return Split{Train: d.Subset(trainIdx, "/train"), Test: d.Subset(testIdx, "/test")}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Subset returns a new dataset containing the given sample indices. The
+// feature vectors are copied so mutating the subset does not alias d.
+func (d *Dataset) Subset(idx []int, suffix string) *Dataset {
+	s := &Dataset{
+		Name:   d.Name + suffix,
+		Domain: d.Domain,
+		X:      make([][]float64, len(idx)),
+		Y:      make([]int, len(idx)),
+		Linear: d.Linear,
+	}
+	if d.Kinds != nil {
+		s.Kinds = append([]FeatureKind(nil), d.Kinds...)
+	}
+	if d.Columns != nil {
+		s.Columns = append([]string(nil), d.Columns...)
+	}
+	for k, i := range idx {
+		s.X[k] = append([]float64(nil), d.X[i]...)
+		s.Y[k] = d.Y[i]
+	}
+	return s
+}
+
+// SelectFeatures returns a copy of the dataset keeping only the feature
+// columns in cols (in the given order).
+func (d *Dataset) SelectFeatures(cols []int) *Dataset {
+	s := &Dataset{
+		Name:   d.Name,
+		Domain: d.Domain,
+		X:      make([][]float64, len(d.X)),
+		Y:      append([]int(nil), d.Y...),
+		Linear: d.Linear,
+	}
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for k, c := range cols {
+			nr[k] = row[c]
+		}
+		s.X[i] = nr
+	}
+	if len(d.Kinds) > 0 {
+		s.Kinds = make([]FeatureKind, len(cols))
+		for k, c := range cols {
+			s.Kinds[k] = d.Kinds[c]
+		}
+	}
+	if len(d.Columns) > 0 {
+		s.Columns = make([]string, len(cols))
+		for k, c := range cols {
+			s.Columns[k] = d.Columns[c]
+		}
+	}
+	return s
+}
+
+// MeshGrid returns the points of a steps×steps grid covering the bounding
+// box of the first two features, expanded by pad on each side. The paper
+// visualizes black-box decision boundaries by querying predictions on a
+// 100×100 mesh (§6.1). The dataset must have at least 2 features.
+func (d *Dataset) MeshGrid(steps int, pad float64) [][]float64 {
+	if d.D() < 2 {
+		panic("dataset: MeshGrid needs at least 2 features")
+	}
+	if steps < 2 {
+		panic("dataset: MeshGrid needs at least 2 steps")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, row := range d.X {
+		minX = math.Min(minX, row[0])
+		maxX = math.Max(maxX, row[0])
+		minY = math.Min(minY, row[1])
+		maxY = math.Max(maxY, row[1])
+	}
+	minX, maxX = minX-pad, maxX+pad
+	minY, maxY = minY-pad, maxY+pad
+	pts := make([][]float64, 0, steps*steps)
+	for i := 0; i < steps; i++ {
+		x := minX + (maxX-minX)*float64(i)/float64(steps-1)
+		for j := 0; j < steps; j++ {
+			y := minY + (maxY-minY)*float64(j)/float64(steps-1)
+			pts = append(pts, []float64{x, y})
+		}
+	}
+	return pts
+}
+
+// Summary describes a dataset in one line, used by the corpus tooling.
+func (d *Dataset) Summary() string {
+	return fmt.Sprintf("%-28s %-20s n=%-6d d=%-5d pos=%.2f linear=%v",
+		d.Name, d.Domain, d.N(), d.D(), d.ClassBalance(), d.Linear)
+}

@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlaasbench/internal/rng"
+)
+
+func sample() *Dataset {
+	return &Dataset{
+		Name:   "toy",
+		Domain: DomainSynthetic,
+		X: [][]float64{
+			{1, 10}, {2, 20}, {3, 30}, {4, 40},
+			{5, 50}, {6, 60}, {7, 70}, {8, 80},
+		},
+		Y: []int{0, 0, 0, 0, 1, 1, 1, 1},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	d := sample()
+	d.Y[0] = 2
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected error for label 2")
+	}
+}
+
+func TestValidateCatchesRagged(t *testing.T) {
+	d := sample()
+	d.X[3] = []float64{1}
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+}
+
+func TestValidateCatchesLengthMismatch(t *testing.T) {
+	d := sample()
+	d.Y = d.Y[:5]
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected error for X/Y mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 1
+	if d.X[0][0] == 99 || d.Y[0] == 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	if b := sample().ClassBalance(); b != 0.5 {
+		t.Fatalf("balance = %v", b)
+	}
+	empty := &Dataset{}
+	if empty.ClassBalance() != 0 {
+		t.Fatal("empty balance")
+	}
+}
+
+func TestImputeMedian(t *testing.T) {
+	d := &Dataset{
+		Name: "m",
+		X: [][]float64{
+			{1, Missing},
+			{3, 5},
+			{Missing, 7},
+			{5, 9},
+		},
+		Y: []int{0, 0, 1, 1},
+	}
+	if !d.HasMissing() {
+		t.Fatal("HasMissing false before impute")
+	}
+	d.Impute()
+	if d.HasMissing() {
+		t.Fatal("missing values remain after impute")
+	}
+	if d.X[2][0] != 3 { // median of {1,3,5}
+		t.Fatalf("imputed f0 = %v, want 3", d.X[2][0])
+	}
+	if d.X[0][1] != 7 { // median of {5,7,9}
+		t.Fatalf("imputed f1 = %v, want 7", d.X[0][1])
+	}
+}
+
+func TestImputeAllMissingColumn(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{Missing}, {Missing}},
+		Y: []int{0, 1},
+	}
+	d.Impute()
+	if d.X[0][0] != 0 || d.X[1][0] != 0 {
+		t.Fatal("all-missing column should impute to 0")
+	}
+}
+
+func TestImputeConstant(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{1, Missing}, {Missing, 4}},
+		Y: []int{0, 1},
+	}
+	d.ImputeConstant(-7)
+	if d.X[0][1] != -7 || d.X[1][0] != -7 {
+		t.Fatalf("constant imputation wrong: %v", d.X)
+	}
+	if d.X[0][0] != 1 || d.X[1][1] != 4 {
+		t.Fatal("observed values modified")
+	}
+}
+
+func TestEncodeCategorical(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{
+			{10, 7.5},
+			{30, 7.5},
+			{10, 2.5},
+			{50, 2.5},
+		},
+		Y:     []int{0, 0, 1, 1},
+		Kinds: []FeatureKind{Categorical, Numeric},
+	}
+	d.EncodeCategorical()
+	want0 := []float64{1, 2, 1, 3} // first-appearance order
+	for i := range want0 {
+		if d.X[i][0] != want0[i] {
+			t.Fatalf("encoded f0[%d] = %v, want %v", i, d.X[i][0], want0[i])
+		}
+		if d.X[i][1] != []float64{7.5, 7.5, 2.5, 2.5}[i] {
+			t.Fatal("numeric column was modified")
+		}
+	}
+	if d.Kinds[0] != Numeric {
+		t.Fatal("kind not updated after encoding")
+	}
+}
+
+func TestEncodeCategoricalSkipsMissing(t *testing.T) {
+	d := &Dataset{
+		X:     [][]float64{{5}, {Missing}, {5}},
+		Y:     []int{0, 1, 0},
+		Kinds: []FeatureKind{Categorical},
+	}
+	d.EncodeCategorical()
+	if !math.IsNaN(d.X[1][0]) {
+		t.Fatal("missing value was encoded")
+	}
+	if d.X[0][0] != 1 || d.X[2][0] != 1 {
+		t.Fatal("same category encoded differently")
+	}
+}
+
+func TestStratifiedSplitRatio(t *testing.T) {
+	d := sample()
+	sp := d.StratifiedSplit(0.7, rng.New(1))
+	if sp.Train.N()+sp.Test.N() != d.N() {
+		t.Fatalf("split loses samples: %d + %d != %d", sp.Train.N(), sp.Test.N(), d.N())
+	}
+	// Both classes present on both sides.
+	if sp.Train.ClassBalance() == 0 || sp.Train.ClassBalance() == 1 {
+		t.Fatalf("train balance %v", sp.Train.ClassBalance())
+	}
+	if sp.Test.ClassBalance() == 0 || sp.Test.ClassBalance() == 1 {
+		t.Fatalf("test balance %v", sp.Test.ClassBalance())
+	}
+}
+
+func TestStratifiedSplitDeterministic(t *testing.T) {
+	d := sample()
+	a := d.StratifiedSplit(0.7, rng.New(5))
+	b := d.StratifiedSplit(0.7, rng.New(5))
+	for i := range a.Train.X {
+		if a.Train.X[i][0] != b.Train.X[i][0] {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+}
+
+func TestStratifiedSplitTiny(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{1}, {2}, {3}, {4}},
+		Y: []int{0, 0, 1, 1},
+	}
+	sp := d.StratifiedSplit(0.7, rng.New(2))
+	// With 2 per class the guard keeps one of each class on each side.
+	if sp.Train.N() != 2 || sp.Test.N() != 2 {
+		t.Fatalf("tiny split sizes %d/%d", sp.Train.N(), sp.Test.N())
+	}
+}
+
+func TestSubsetCopies(t *testing.T) {
+	d := sample()
+	s := d.Subset([]int{0, 2}, "/s")
+	s.X[0][0] = 42
+	if d.X[0][0] == 42 {
+		t.Fatal("subset aliases parent")
+	}
+	if s.Name != "toy/s" || s.N() != 2 || s.Y[1] != 0 {
+		t.Fatalf("subset wrong: %+v", s)
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	d := sample()
+	d.Columns = []string{"a", "b"}
+	s := d.SelectFeatures([]int{1})
+	if s.D() != 1 || s.X[0][0] != 10 {
+		t.Fatalf("SelectFeatures wrong: %v", s.X[0])
+	}
+	if s.Columns[0] != "b" {
+		t.Fatal("column names not remapped")
+	}
+	if s.N() != d.N() {
+		t.Fatal("sample count changed")
+	}
+}
+
+func TestMeshGridCoverage(t *testing.T) {
+	d := sample()
+	pts := d.MeshGrid(10, 0.5)
+	if len(pts) != 100 {
+		t.Fatalf("mesh size %d", len(pts))
+	}
+	// Corners must reach the padded bounding box.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+	}
+	if minX != 0.5 || maxX != 8.5 {
+		t.Fatalf("mesh X range [%v, %v], want [0.5, 8.5]", minX, maxX)
+	}
+}
+
+func TestMeshGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-D dataset")
+		}
+	}()
+	d := &Dataset{X: [][]float64{{1}}, Y: []int{0}}
+	d.MeshGrid(10, 0)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	d.X[1][0] = Missing
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.D() != d.D() {
+		t.Fatalf("round trip shape %dx%d", got.N(), got.D())
+	}
+	if !math.IsNaN(got.X[1][0]) {
+		t.Fatal("missing value lost in round trip")
+	}
+	for i := range d.Y {
+		if got.Y[i] != d.Y[i] {
+			t.Fatal("labels corrupted")
+		}
+	}
+	if got.X[3][1] != 40 {
+		t.Fatalf("value corrupted: %v", got.X[3][1])
+	}
+}
+
+func TestReadCSVRejectsBadLabel(t *testing.T) {
+	csv := "f0,label\n1.5,2\n"
+	if _, err := ReadCSV(strings.NewReader(csv), "bad"); err == nil {
+		t.Fatal("expected error for label 2")
+	}
+}
+
+func TestReadCSVRejectsMissingLabelColumn(t *testing.T) {
+	csv := "f0,f1\n1,2\n"
+	if _, err := ReadCSV(strings.NewReader(csv), "bad"); err == nil {
+		t.Fatal("expected error for absent label header")
+	}
+}
+
+func TestReadCSVRejectsBadFloat(t *testing.T) {
+	csv := "f0,label\nxyz,1\n"
+	if _, err := ReadCSV(strings.NewReader(csv), "bad"); err == nil {
+		t.Fatal("expected error for non-numeric feature")
+	}
+}
+
+// Property: a stratified split never loses or duplicates samples and keeps
+// both sides non-empty for any feasible fraction and seed.
+func TestQuickSplitConservation(t *testing.T) {
+	f := func(seed uint64, fracRaw uint8) bool {
+		frac := 0.2 + 0.6*float64(fracRaw)/255.0
+		d := &Dataset{}
+		r := rng.New(seed)
+		n := 10 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			d.X = append(d.X, []float64{r.NormFloat64()})
+			d.Y = append(d.Y, r.Intn(2))
+		}
+		// Ensure both classes exist.
+		d.Y[0], d.Y[1] = 0, 1
+		sp := d.StratifiedSplit(frac, r)
+		return sp.Train.N()+sp.Test.N() == n && sp.Train.N() > 0 && sp.Test.N() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: imputation removes every missing value no matter the pattern.
+func TestQuickImputeTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, d := 3+r.Intn(20), 1+r.Intn(6)
+		ds := &Dataset{}
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				if r.Bernoulli(0.3) {
+					row[j] = Missing
+				} else {
+					row[j] = r.NormFloat64()
+				}
+			}
+			ds.X = append(ds.X, row)
+			ds.Y = append(ds.Y, r.Intn(2))
+		}
+		ds.Impute()
+		return !ds.HasMissing()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

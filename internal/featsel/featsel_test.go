@@ -1,0 +1,224 @@
+package featsel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/rng"
+)
+
+// buildDiscriminative returns data where feature 0 perfectly tracks the
+// label, feature 1 is pure noise, and feature 2 weakly tracks the label.
+func buildDiscriminative(n int, seed uint64) ([][]float64, []int) {
+	r := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		signal := float64(cls)*10 + r.Normal(0, 0.1)
+		noise := r.NormFloat64()
+		weak := float64(cls)*0.8 + r.NormFloat64()
+		x[i] = []float64{signal, noise, weak}
+		y[i] = cls
+	}
+	return x, y
+}
+
+func TestNewResolvesAllMethods(t *testing.T) {
+	for _, name := range append(Names(), "none", "") {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("New(%q) = nil", name)
+		}
+	}
+	if _, err := New("wrapper"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("want 8 filter methods (Table 1), got %d", len(Names()))
+	}
+}
+
+func TestFiltersRankSignalFirst(t *testing.T) {
+	x, y := buildDiscriminative(200, 1)
+	for _, name := range []string{"pearson", "spearman", "kendall", "mutual", "chi", "fisher", "fclassif"} {
+		s, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := s.Select(x, y, 1)
+		if len(top) != 1 || top[0] != 0 {
+			t.Errorf("%s: top feature = %v, want [0]", name, top)
+		}
+		ranked := s.Select(x, y, 3)
+		if ranked[2] != 1 {
+			t.Errorf("%s: noise feature should rank last, got order %v", name, ranked)
+		}
+	}
+}
+
+func TestCountPrefersHighCardinality(t *testing.T) {
+	// Feature 0 binary-valued, feature 1 continuous.
+	r := rng.New(2)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{float64(i % 2), r.NormFloat64()})
+		y = append(y, i%2)
+	}
+	s, _ := New("count")
+	top := s.Select(x, y, 1)
+	if top[0] != 1 {
+		t.Fatalf("count should prefer the high-cardinality feature, got %v", top)
+	}
+}
+
+func TestPassThroughKeepsOrder(t *testing.T) {
+	s, _ := New("none")
+	x, y := buildDiscriminative(10, 3)
+	idx := s.Select(x, y, 0)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("pass-through order %v", idx)
+	}
+	if got := s.Select(x, y, 2); len(got) != 2 {
+		t.Fatalf("pass-through k=2 gave %v", got)
+	}
+}
+
+func TestSelectClampsK(t *testing.T) {
+	x, y := buildDiscriminative(50, 4)
+	s, _ := New("pearson")
+	if got := s.Select(x, y, 99); len(got) != 3 {
+		t.Fatalf("k>d should clamp to d, got %d", len(got))
+	}
+	if got := s.Select(x, y, -1); len(got) != 3 {
+		t.Fatalf("k<=0 should select all, got %d", len(got))
+	}
+}
+
+func TestApplyTopFraction(t *testing.T) {
+	x, y := buildDiscriminative(100, 5)
+	d := &dataset.Dataset{Name: "t", X: x, Y: y}
+	s, _ := New("fisher")
+	half := ApplyTopFraction(s, d, 0.5)
+	if half.D() != 2 {
+		t.Fatalf("0.5 of 3 features rounds to 2, got %d", half.D())
+	}
+	tiny := ApplyTopFraction(s, d, 0.01)
+	if tiny.D() != 1 {
+		t.Fatalf("fraction floor must keep at least 1 feature, got %d", tiny.D())
+	}
+	if tiny.N() != d.N() {
+		t.Fatal("sample count changed")
+	}
+	// The kept column must be the informative one (original col 0).
+	if tiny.X[0][0] < 5 && tiny.X[1][0] < 5 {
+		t.Fatalf("kept feature doesn't look like the signal: %v %v", tiny.X[0][0], tiny.X[1][0])
+	}
+}
+
+func TestFisherLDAProjectsToOneDim(t *testing.T) {
+	x, y := buildDiscriminative(200, 6)
+	lda := &FisherLDA{}
+	proj := lda.FitTransform(x, y)
+	if len(proj) != len(x) || len(proj[0]) != 1 {
+		t.Fatalf("projection shape %dx%d", len(proj), len(proj[0]))
+	}
+	// Projected classes must be well separated: compare class means to
+	// pooled std.
+	var m0, m1, n0, n1 float64
+	for i := range proj {
+		if y[i] == 0 {
+			m0 += proj[i][0]
+			n0++
+		} else {
+			m1 += proj[i][0]
+			n1++
+		}
+	}
+	m0 /= n0
+	m1 /= n1
+	var ss float64
+	for i := range proj {
+		m := m0
+		if y[i] == 1 {
+			m = m1
+		}
+		ss += (proj[i][0] - m) * (proj[i][0] - m)
+	}
+	std := math.Sqrt(ss / float64(len(proj)))
+	if sep := math.Abs(m1-m0) / (std + 1e-12); sep < 3 {
+		t.Fatalf("LDA separation %v too small", sep)
+	}
+}
+
+func TestFisherLDADegenerateSingleClass(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 0}
+	lda := &FisherLDA{}
+	proj := lda.FitTransform(x, y)
+	if len(proj) != 2 || len(proj[0]) != 1 {
+		t.Fatal("degenerate LDA should still project")
+	}
+	for _, p := range proj {
+		if math.IsNaN(p[0]) {
+			t.Fatal("NaN projection")
+		}
+	}
+}
+
+func TestFisherLDATransformNewRows(t *testing.T) {
+	x, y := buildDiscriminative(100, 7)
+	lda := &FisherLDA{}
+	lda.FitTransform(x, y)
+	out := lda.Transform([][]float64{{10, 0, 0.8}})
+	if len(out) != 1 || len(out[0]) != 1 || math.IsNaN(out[0][0]) {
+		t.Fatalf("transform output %v", out)
+	}
+}
+
+// Property: every selector returns distinct, in-range indices of the
+// requested count, on arbitrary data.
+func TestQuickSelectorsWellFormed(t *testing.T) {
+	names := append(Names(), "none")
+	f := func(seed uint64, methodIdx, kRaw uint8) bool {
+		name := names[int(methodIdx)%len(names)]
+		s, err := New(name)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		n, d := 5+r.Intn(40), 1+r.Intn(10)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			x[i] = row
+			y[i] = r.Intn(2)
+		}
+		k := 1 + int(kRaw)%d
+		idx := s.Select(x, y, k)
+		if len(idx) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, j := range idx {
+			if j < 0 || j >= d || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

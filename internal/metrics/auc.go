@@ -1,0 +1,53 @@
+package metrics
+
+import "sort"
+
+// AUC computes the area under the ROC curve from real-valued scores, with
+// the rank statistic (equivalent to the Mann–Whitney U), averaging ties.
+// The paper could not report AUC because PredictionIO and several BigML
+// classifiers expose no prediction score (§3.2); the simulated platforms
+// reproduce that restriction, but the classifiers themselves can score,
+// so the extension analysis compares F1 and AUC where scores exist.
+//
+// Returns 0.5 when either class is absent.
+func AUC(yTrue []int, scores []float64) float64 {
+	n := len(yTrue)
+	if n == 0 || n != len(scores) {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Assign average ranks to ties.
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for t := i; t <= j; t++ {
+			ranks[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	var rankSumPos float64
+	var nPos, nNeg float64
+	for k, y := range yTrue {
+		if y == 1 {
+			rankSumPos += ranks[k]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSumPos - nPos*(nPos+1)/2
+	return u / (nPos * nNeg)
+}

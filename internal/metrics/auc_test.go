@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	y := []int{0, 0, 1, 1}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if auc := AUC(y, scores); auc != 1 {
+		t.Fatalf("perfect ranking AUC %v", auc)
+	}
+	rev := []float64{0.9, 0.8, 0.2, 0.1}
+	if auc := AUC(y, rev); auc != 0 {
+		t.Fatalf("inverted ranking AUC %v", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	// Constant scores: all tied → 0.5 exactly.
+	y := []int{0, 1, 0, 1, 0, 1}
+	scores := []float64{5, 5, 5, 5, 5, 5}
+	if auc := AUC(y, scores); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied scores AUC %v", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// y:      1    0    1    0
+	// scores: 0.9  0.8  0.7  0.1
+	// pairs (pos, neg): (0.9,0.8)✓ (0.9,0.1)✓ (0.7,0.8)✗ (0.7,0.1)✓ → 3/4
+	y := []int{1, 0, 1, 0}
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	if auc := AUC(y, scores); math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUC %v, want 0.75", auc)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if AUC(nil, nil) != 0.5 {
+		t.Fatal("empty input")
+	}
+	if AUC([]int{1, 1}, []float64{0.1, 0.9}) != 0.5 {
+		t.Fatal("single class")
+	}
+	if AUC([]int{0, 1}, []float64{1}) != 0.5 {
+		t.Fatal("length mismatch")
+	}
+}
+
+// Property: AUC ∈ [0,1] and is invariant under monotone score transforms.
+func TestQuickAUCInvariance(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		y := make([]int, len(raw))
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			y[i] = int(v) % 2
+			scores[i] = float64(v)
+		}
+		a := AUC(y, scores)
+		if a < 0 || a > 1 {
+			return false
+		}
+		// Monotone transform: exp(x/50).
+		tx := make([]float64, len(scores))
+		for i, s := range scores {
+			tx[i] = math.Exp(s / 50)
+		}
+		return math.Abs(a-AUC(y, tx)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package metrics implements the evaluation metrics the paper reports:
+// accuracy, precision, recall and F-score over binary predictions, plus the
+// aggregation helpers (means, standard errors) used to summarize a platform
+// across the 119-dataset corpus (§3.2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion holds the 2×2 confusion counts for binary classification with
+// label 1 treated as the positive class.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies predictions against ground truth. Both slices must
+// have equal length and contain only 0/1 labels.
+func NewConfusion(yTrue, yPred []int) (Confusion, error) {
+	var c Confusion
+	if len(yTrue) != len(yPred) {
+		return c, fmt.Errorf("metrics: %d truths vs %d predictions", len(yTrue), len(yPred))
+	}
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t>>1 != 0 || p>>1 != 0 || t < 0 || p < 0 {
+			return c, fmt.Errorf("metrics: non-binary label at %d: true=%d pred=%d", i, t, p)
+		}
+		switch {
+		case t == 1 && p == 1:
+			c.TP++
+		case t == 0 && p == 1:
+			c.FP++
+		case t == 0 && p == 0:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c, nil
+}
+
+// Total returns the number of samples tallied.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is the fraction of correct predictions (0 for empty input).
+func (c Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision is TP/(TP+FP); 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN); 0 when there are no positive samples.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall — the paper's primary
+// metric, chosen because many corpus datasets are class-imbalanced (§3.2).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Scores bundles the four metrics the paper tables report (Table 3).
+type Scores struct {
+	F1        float64 `json:"f1"`
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+}
+
+// Score evaluates predictions against truth and returns all four metrics.
+func Score(yTrue, yPred []int) (Scores, error) {
+	c, err := NewConfusion(yTrue, yPred)
+	if err != nil {
+		return Scores{}, err
+	}
+	return Scores{
+		F1:        c.F1(),
+		Accuracy:  c.Accuracy(),
+		Precision: c.Precision(),
+		Recall:    c.Recall(),
+	}, nil
+}
+
+// Get returns the named metric from s; valid names are "f1", "accuracy",
+// "precision", "recall".
+func (s Scores) Get(name string) (float64, error) {
+	switch name {
+	case "f1":
+		return s.F1, nil
+	case "accuracy":
+		return s.Accuracy, nil
+	case "precision":
+		return s.Precision, nil
+	case "recall":
+		return s.Recall, nil
+	default:
+		return 0, fmt.Errorf("metrics: unknown metric %q", name)
+	}
+}
+
+// MetricNames lists the metric identifiers in the order the paper's Table 3
+// reports them.
+func MetricNames() []string { return []string{"f1", "accuracy", "precision", "recall"} }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdErr returns the standard error of the mean of xs (0 for fewer than two
+// values). The paper's Figure 4 error bars report this quantity.
+func StdErr(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	sampleVar := ss / float64(n-1)
+	return math.Sqrt(sampleVar / float64(n))
+}
+
+// MinMax returns the smallest and largest value of xs. It panics on empty
+// input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("metrics: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

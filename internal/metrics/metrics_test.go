@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	yTrue := []int{1, 1, 0, 0, 1, 0}
+	yPred := []int{1, 0, 1, 0, 1, 0}
+	c, err := NewConfusion(yTrue, yPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if c.Total() != 6 {
+		t.Fatalf("total %d", c.Total())
+	}
+}
+
+func TestConfusionRejectsLengthMismatch(t *testing.T) {
+	if _, err := NewConfusion([]int{1}, []int{1, 0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfusionRejectsNonBinary(t *testing.T) {
+	if _, err := NewConfusion([]int{2}, []int{1}); err == nil {
+		t.Fatal("expected error for label 2")
+	}
+	if _, err := NewConfusion([]int{1}, []int{-1}); err == nil {
+		t.Fatal("expected error for label -1")
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	y := []int{1, 0, 1, 0}
+	s, err := Score(y, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.F1 != 1 || s.Accuracy != 1 || s.Precision != 1 || s.Recall != 1 {
+		t.Fatalf("perfect scores %+v", s)
+	}
+}
+
+func TestAllWrong(t *testing.T) {
+	s, err := Score([]int{1, 0}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.F1 != 0 || s.Accuracy != 0 {
+		t.Fatalf("all-wrong scores %+v", s)
+	}
+}
+
+func TestKnownF1(t *testing.T) {
+	// TP=3, FP=1, FN=2 → P=0.75, R=0.6, F1=2*.75*.6/1.35=2/3
+	yTrue := []int{1, 1, 1, 1, 1, 0, 0}
+	yPred := []int{1, 1, 1, 0, 0, 1, 0}
+	s, _ := Score(yTrue, yPred)
+	if math.Abs(s.Precision-0.75) > 1e-12 {
+		t.Fatalf("precision %v", s.Precision)
+	}
+	if math.Abs(s.Recall-0.6) > 1e-12 {
+		t.Fatalf("recall %v", s.Recall)
+	}
+	if math.Abs(s.F1-2.0/3.0) > 1e-12 {
+		t.Fatalf("f1 %v", s.F1)
+	}
+}
+
+func TestDegenerateMetrics(t *testing.T) {
+	// No positive predictions → precision 0; no positives in truth → recall 0.
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion should produce zeros")
+	}
+	c2 := Confusion{TN: 5}
+	if c2.Accuracy() != 1 || c2.F1() != 0 {
+		t.Fatalf("all-negative confusion: acc=%v f1=%v", c2.Accuracy(), c2.F1())
+	}
+}
+
+func TestScoresGet(t *testing.T) {
+	s := Scores{F1: 0.1, Accuracy: 0.2, Precision: 0.3, Recall: 0.4}
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{{"f1", 0.1}, {"accuracy", 0.2}, {"precision", 0.3}, {"recall", 0.4}} {
+		got, err := s.Get(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("Get(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+	if _, err := s.Get("auc"); err == nil {
+		t.Fatal("expected error for unknown metric")
+	}
+	if len(MetricNames()) != 4 {
+		t.Fatal("MetricNames")
+	}
+}
+
+func TestMeanStdErr(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean nil")
+	}
+	// Sample of {2,4}: sample var = 2, stderr = sqrt(2/2) = 1.
+	if se := StdErr([]float64{2, 4}); math.Abs(se-1) > 1e-12 {
+		t.Fatalf("StdErr = %v", se)
+	}
+	if StdErr([]float64{5}) != 0 {
+		t.Fatal("StdErr single")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+// Property: F1 is always in [0,1] and is 1 iff predictions match on all
+// positives with no false positives.
+func TestQuickF1Bounds(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		f1 := c.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		if f1 == 1 && (fp != 0 || fn != 0 || tp == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: F1 ≤ max(precision, recall) and ≥ min — harmonic mean bounds.
+func TestQuickF1HarmonicBounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp) + 1, FP: int(fp), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"testing"
+
+	"mlaasbench/internal/classifiers"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/synth"
+)
+
+func TestCrossValidateFoldCount(t *testing.T) {
+	ds := synth.GenerateClean(synth.Spec{Name: "cv", Gen: synth.GenLinear, N: 150, D: 4, Noise: 0.2}, synth.Quick, 1)
+	cfg := Config{Classifier: "logreg", Params: classifiers.Params{}}
+	scores, err := CrossValidate(cfg, ds, 5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("%d folds, want 5", len(scores))
+	}
+	if m := MeanF1(scores); m < 0.7 {
+		t.Fatalf("mean CV F1 %.3f on separable data", m)
+	}
+}
+
+func TestCrossValidateRejectsBadK(t *testing.T) {
+	ds := synth.GenerateClean(synth.Spec{Name: "cv2", Gen: synth.GenLinear, N: 60, D: 2}, synth.Quick, 1)
+	cfg := Config{Classifier: "logreg", Params: classifiers.Params{}}
+	if _, err := CrossValidate(cfg, ds, 1, rng.New(1)); err == nil {
+		t.Fatal("k=1 must be rejected")
+	}
+	tiny := ds.Subset([]int{0, 1, 2}, "/tiny")
+	if _, err := CrossValidate(cfg, tiny, 5, rng.New(1)); err == nil {
+		t.Fatal("more folds than samples must be rejected")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds := synth.GenerateClean(synth.Spec{Name: "cv3", Gen: synth.GenMoons, N: 120, D: 2, Noise: 0.2}, synth.Quick, 3)
+	cfg := Config{Classifier: "dtree", Params: classifiers.Params{}}
+	a, err := CrossValidate(cfg, ds, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CrossValidate(cfg, ds, 4, rng.New(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different CV scores")
+		}
+	}
+}
+
+func TestStratifiedFoldsBalance(t *testing.T) {
+	ds := synth.GenerateClean(synth.Spec{Name: "cv4", Gen: synth.GenBlobs, N: 200, D: 2, Imbalance: 0.3}, synth.Quick, 4)
+	folds := stratifiedFolds(ds, 5, rng.New(5))
+	total := 0
+	for fi, fold := range folds {
+		total += len(fold)
+		pos := 0
+		for _, i := range fold {
+			pos += ds.Y[i]
+		}
+		frac := float64(pos) / float64(len(fold))
+		if frac < 0.15 || frac > 0.45 {
+			t.Fatalf("fold %d positive fraction %.2f, dataset is 0.30", fi, frac)
+		}
+	}
+	if total != ds.N() {
+		t.Fatalf("folds cover %d of %d samples", total, ds.N())
+	}
+	// No index twice.
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, i := range fold {
+			if seen[i] {
+				t.Fatal("index in two folds")
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestSelectConfigPicksWinner(t *testing.T) {
+	// On CIRCLE, selection between default LR and default DT must pick DT.
+	ds := synth.GenerateClean(synth.CircleSpec(), synth.Quick, synth.CorpusSeed)
+	lr := Config{Classifier: "logreg", Params: classifiers.Params{}}
+	dt := Config{Classifier: "dtree", Params: classifiers.Params{}}
+	best, f1, err := SelectConfig([]Config{lr, dt}, ds, 4, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Classifier != "dtree" {
+		t.Fatalf("selected %s on CIRCLE, want dtree", best.Classifier)
+	}
+	if f1 < 0.7 {
+		t.Fatalf("winner CV F1 %.3f", f1)
+	}
+}
+
+func TestSelectConfigSkipsBroken(t *testing.T) {
+	ds := synth.GenerateClean(synth.LinearSpec(), synth.Quick, 1)
+	good := Config{Classifier: "logreg", Params: classifiers.Params{}}
+	broken := Config{Classifier: "no-such", Params: classifiers.Params{}}
+	best, _, err := SelectConfig([]Config{broken, good}, ds, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Classifier != "logreg" {
+		t.Fatalf("selected %s", best.Classifier)
+	}
+	if _, _, err := SelectConfig([]Config{broken}, ds, 3, rng.New(8)); err == nil {
+		t.Fatal("all-broken selection must fail")
+	}
+	if _, _, err := SelectConfig(nil, ds, 3, rng.New(8)); err == nil {
+		t.Fatal("empty selection must fail")
+	}
+}

@@ -1,0 +1,132 @@
+// Package platforms simulates the six MLaaS services the paper measures —
+// ABM, Google Prediction API, Amazon Machine Learning, PredictionIO, BigML
+// and Microsoft Azure ML Studio — plus the "local" scikit-learn arm. The
+// real services are proprietary (and mostly discontinued); what the paper
+// actually characterizes is each platform's *control surface* (Figure 1,
+// Table 1) and the behaviour of the hidden server-side pipeline. Each
+// simulated platform therefore:
+//
+//   - exposes exactly the documented FEAT/CLF/PARA controls as a
+//     pipeline.Surface, with the provider's defaults;
+//   - executes the shared classifier substrate for everything user-visible;
+//   - implements the provider's *hidden* behaviour: ABM and Google pick a
+//     classifier family per dataset with an internal validation probe
+//     (§6.1-6.2), and Amazon silently quantile-bins features before its
+//     Logistic Regression, which is how its CIRCLE boundary turns
+//     non-linear (Figure 13).
+//
+// Platform order by complexity matches Figure 2/4: Google < ABM < Amazon <
+// BigML < PredictionIO < Microsoft < Local.
+package platforms
+
+import (
+	"fmt"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+)
+
+// Platform is one MLaaS service (or the local library) under measurement.
+type Platform interface {
+	// Name is the platform identifier ("google", "abm", ...).
+	Name() string
+	// Complexity orders platforms by user control, ascending (Figure 2).
+	Complexity() int
+	// Surface returns the user-visible control surface. Black-box
+	// platforms return an empty surface.
+	Surface() pipeline.Surface
+	// BaselineClassifier is the classifier used for the zero-control
+	// baseline ("logreg" wherever the control exists; "" for black boxes,
+	// whose baseline is their automatic pipeline).
+	BaselineClassifier() string
+	// Run trains and evaluates one configuration on the split. Black-box
+	// platforms ignore cfg (they accept only the data, like the real
+	// 1-click services).
+	Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64) (pipeline.Result, error)
+	// PredictPoints trains on train and labels arbitrary query points —
+	// the primitive the §6.1 boundary probing uses.
+	PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error)
+}
+
+// Names lists the platforms in complexity order (Figure 4's x-axis).
+func Names() []string {
+	return []string{"google", "abm", "amazon", "bigml", "predictionio", "microsoft", "local"}
+}
+
+// New constructs a platform by name.
+func New(name string) (Platform, error) {
+	switch name {
+	case "google":
+		return newGoogle(), nil
+	case "abm":
+		return newABM(), nil
+	case "amazon":
+		return newAmazon(), nil
+	case "bigml":
+		return newBigML(), nil
+	case "predictionio":
+		return newPredictionIO(), nil
+	case "microsoft":
+		return newMicrosoft(), nil
+	case "local":
+		return newLocal(), nil
+	default:
+		return nil, fmt.Errorf("platforms: unknown platform %q", name)
+	}
+}
+
+// All returns every platform in complexity order.
+func All() []Platform {
+	out := make([]Platform, 0, len(Names()))
+	for _, n := range Names() {
+		p, err := New(n)
+		if err != nil {
+			panic(err) // Names and New are defined together; a mismatch is a bug
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// userPlatform implements the shared behaviour of every platform with a
+// user-visible surface: Run validates the config against the surface and
+// executes the standard pipeline.
+type userPlatform struct {
+	name       string
+	complexity int
+	surface    pipeline.Surface
+}
+
+func (u *userPlatform) Name() string               { return u.name }
+func (u *userPlatform) Complexity() int            { return u.complexity }
+func (u *userPlatform) Surface() pipeline.Surface  { return u.surface }
+func (u *userPlatform) BaselineClassifier() string { return "logreg" }
+
+func (u *userPlatform) validate(cfg pipeline.Config) error {
+	for _, cs := range u.surface.Classifiers {
+		if cs.Name == cfg.Classifier {
+			return nil
+		}
+	}
+	return fmt.Errorf("platforms: %s does not offer classifier %q", u.name, cfg.Classifier)
+}
+
+func (u *userPlatform) Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64) (pipeline.Result, error) {
+	if err := u.validate(cfg); err != nil {
+		return pipeline.Result{}, err
+	}
+	return pipeline.Run(cfg, train, test, runRNG(u.name, train.Name, seed))
+}
+
+func (u *userPlatform) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error) {
+	if err := u.validate(cfg); err != nil {
+		return nil, err
+	}
+	return pipeline.PredictPoints(cfg, train, points, runRNG(u.name, train.Name, seed))
+}
+
+// runRNG derives the deterministic RNG for one platform/dataset run.
+func runRNG(platform, datasetName string, seed uint64) *rng.RNG {
+	return rng.New(seed).Split("platform/" + platform + "/" + datasetName)
+}

@@ -1,0 +1,399 @@
+// Package service exposes the simulated MLaaS platforms over HTTP, mirroring
+// the query interface the paper measured through (§3.2: "we leverage web
+// APIs provided by the platforms, allowing us to automate experiments").
+//
+// The API is deliberately shaped like the 2016-era services:
+//
+//	GET  /v1/platforms                            → list platforms + controls
+//	GET  /v1/platforms/{p}/surface                → control surface detail
+//	POST /v1/platforms/{p}/datasets               → upload a training dataset
+//	POST /v1/platforms/{p}/models                 → train a model (black boxes
+//	                                                ignore the config, like the
+//	                                                real 1-click services)
+//	POST /v1/platforms/{p}/models/{id}/predictions → query predictions
+//
+// Models are identified by the (dataset, config, seed) triple and the
+// training substrate is deterministic, so the server stores descriptions,
+// not weights: every prediction call retrains from the stored dataset. That
+// trades CPU for the guarantee that a model id always means the same model,
+// even across server restarts.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"mlaasbench/internal/classifiers"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/platforms"
+)
+
+// Server hosts every simulated platform under one HTTP handler.
+type Server struct {
+	mu       sync.RWMutex
+	plats    map[string]platforms.Platform
+	datasets map[string]*storedDataset // key: platform/id
+	models   map[string]*storedModel   // key: platform/id
+	nextID   int
+	logf     func(format string, args ...any)
+}
+
+type storedDataset struct {
+	platform string
+	data     *dataset.Dataset
+}
+
+type storedModel struct {
+	platform  string
+	datasetID string
+	config    pipeline.Config
+	seed      uint64
+}
+
+// NewServer constructs a server hosting all platforms. logf defaults to
+// log.Printf; pass a no-op to silence request logging.
+func NewServer(logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		plats:    map[string]platforms.Platform{},
+		datasets: map[string]*storedDataset{},
+		models:   map[string]*storedModel{},
+		logf:     logf,
+	}
+	for _, p := range platforms.All() {
+		s.plats[p.Name()] = p
+	}
+	return s
+}
+
+// Handler returns the HTTP handler for the MLaaS API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/platforms", s.handleListPlatforms)
+	mux.HandleFunc("GET /v1/platforms/{platform}/surface", s.handleSurface)
+	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", s.handleUpload)
+	mux.HandleFunc("POST /v1/platforms/{platform}/models", s.handleTrain)
+	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.handlePredict)
+	return mux
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.logf("service: %d %s", code, msg)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(apiError{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// PlatformInfo is the directory entry for one platform.
+type PlatformInfo struct {
+	Name        string `json:"name"`
+	Complexity  int    `json:"complexity"`
+	BlackBox    bool   `json:"black_box"`
+	Classifiers int    `json:"classifiers"`
+	FeatOptions int    `json:"feat_options"`
+}
+
+func (s *Server) handleListPlatforms(w http.ResponseWriter, _ *http.Request) {
+	var out []PlatformInfo
+	for _, name := range platforms.Names() {
+		p := s.plats[name]
+		surf := p.Surface()
+		out = append(out, PlatformInfo{
+			Name:        p.Name(),
+			Complexity:  p.Complexity(),
+			BlackBox:    p.BaselineClassifier() == "",
+			Classifiers: len(surf.Classifiers),
+			FeatOptions: len(surf.Feats),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SurfaceDoc describes one platform's user-visible controls.
+type SurfaceDoc struct {
+	Platform    string          `json:"platform"`
+	Feats       []string        `json:"feats"`
+	Classifiers []ClassifierDoc `json:"classifiers"`
+}
+
+// ClassifierDoc documents one classifier's tunable parameters.
+type ClassifierDoc struct {
+	Name   string     `json:"name"`
+	Params []ParamDoc `json:"params"`
+}
+
+// ParamDoc documents one tunable parameter.
+type ParamDoc struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "categorical" | "numeric"
+	Options []any  `json:"options,omitempty"`
+	Default any    `json:"default"`
+}
+
+func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.platform(r)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		return
+	}
+	surf := p.Surface()
+	doc := SurfaceDoc{Platform: p.Name()}
+	for _, f := range surf.Feats {
+		doc.Feats = append(doc.Feats, f.String())
+	}
+	for _, cs := range surf.Classifiers {
+		cd := ClassifierDoc{Name: cs.Name}
+		for _, ps := range cs.Params {
+			kind := "numeric"
+			if ps.Kind == classifiers.Categorical {
+				kind = "categorical"
+			}
+			cd.Params = append(cd.Params, ParamDoc{
+				Name:    ps.Name,
+				Kind:    kind,
+				Options: ps.Options,
+				Default: ps.DefaultValue(),
+			})
+		}
+		doc.Classifiers = append(doc.Classifiers, cd)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) platform(r *http.Request) (platforms.Platform, bool) {
+	p, ok := s.plats[r.PathValue("platform")]
+	return p, ok
+}
+
+// UploadRequest carries a dataset as JSON. CSV uploads use Content-Type
+// text/csv with the dataset.WriteCSV layout as the body.
+type UploadRequest struct {
+	Name string      `json:"name"`
+	X    [][]float64 `json:"x"`
+	Y    []int       `json:"y"`
+}
+
+// UploadResponse returns the stored dataset id.
+type UploadResponse struct {
+	ID      string `json:"id"`
+	Samples int    `json:"samples"`
+	Columns int    `json:"columns"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.platform(r)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		return
+	}
+	var ds *dataset.Dataset
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "text/csv"):
+		parsed, err := dataset.ReadCSV(r.Body, "upload")
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "parse csv: %v", err)
+			return
+		}
+		ds = parsed
+	default:
+		var req UploadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+			return
+		}
+		ds = &dataset.Dataset{Name: req.Name, X: req.X, Y: req.Y}
+	}
+	if err := ds.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid dataset: %v", err)
+		return
+	}
+	if ds.N() == 0 {
+		s.fail(w, http.StatusBadRequest, "empty dataset")
+		return
+	}
+	// Like the real services, no data cleaning happens server-side (§2);
+	// datasets with missing values are rejected rather than silently fixed.
+	if ds.HasMissing() {
+		s.fail(w, http.StatusBadRequest, "dataset has missing values; clean before upload")
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("ds-%d", s.nextID)
+	s.datasets[p.Name()+"/"+id] = &storedDataset{platform: p.Name(), data: ds}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, UploadResponse{ID: id, Samples: ds.N(), Columns: ds.D()})
+}
+
+// TrainRequest asks the platform to build a model.
+type TrainRequest struct {
+	Dataset    string         `json:"dataset"`
+	Feat       string         `json:"feat,omitempty"`       // FEAT option (pipeline.Feat syntax)
+	Classifier string         `json:"classifier,omitempty"` // ignored by black boxes
+	Params     map[string]any `json:"params,omitempty"`
+	Seed       uint64         `json:"seed,omitempty"`
+}
+
+// TrainResponse returns the model id.
+type TrainResponse struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.platform(r)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		return
+	}
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+		return
+	}
+	s.mu.RLock()
+	sd, ok := s.datasets[p.Name()+"/"+req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q on %s", req.Dataset, p.Name())
+		return
+	}
+	cfg, err := s.buildConfig(p, req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate by training once now, so errors surface at model creation
+	// (the paper's platforms likewise failed at train time). A 2-point
+	// probe keeps the validation cheap.
+	if _, err := p.PredictPoints(cfg, sd.data, sd.data.X[:1], req.Seed); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "train: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("m-%d", s.nextID)
+	s.models[p.Name()+"/"+id] = &storedModel{
+		platform:  p.Name(),
+		datasetID: req.Dataset,
+		config:    cfg,
+		seed:      req.Seed,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, TrainResponse{ID: id})
+}
+
+// buildConfig converts a TrainRequest into a pipeline config appropriate for
+// the platform: black boxes accept no configuration at all.
+func (s *Server) buildConfig(p platforms.Platform, req TrainRequest) (pipeline.Config, error) {
+	if p.BaselineClassifier() == "" {
+		if req.Classifier != "" || req.Feat != "" || len(req.Params) > 0 {
+			return pipeline.Config{}, errors.New("platform is fully automated and accepts no configuration")
+		}
+		return pipeline.Config{}, nil
+	}
+	clf := req.Classifier
+	if clf == "" {
+		clf = p.BaselineClassifier()
+	}
+	cfg, err := p.Surface().DefaultConfig(clf)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	if req.Feat != "" {
+		f, err := pipeline.ParseFeat(req.Feat)
+		if err != nil {
+			return pipeline.Config{}, err
+		}
+		cfg.Feat = f
+	}
+	for k, v := range req.Params {
+		if _, known := cfg.Params[k]; !known {
+			return pipeline.Config{}, fmt.Errorf("parameter %q not exposed by %s/%s", k, p.Name(), clf)
+		}
+		// JSON numbers arrive as float64; normalize int-typed defaults.
+		if _, isInt := cfg.Params[k].(int); isInt {
+			if f, isFloat := v.(float64); isFloat {
+				v = int(f)
+			}
+		}
+		cfg.Params[k] = v
+	}
+	return cfg, nil
+}
+
+// PredictRequest carries query instances.
+type PredictRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+// PredictResponse returns predicted labels aligned with the instances.
+type PredictResponse struct {
+	Labels []int `json:"labels"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.platform(r)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		return
+	}
+	s.mu.RLock()
+	m, ok := s.models[p.Name()+"/"+r.PathValue("model")]
+	s.mu.RUnlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown model %q on %s", r.PathValue("model"), p.Name())
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.fail(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	s.mu.RLock()
+	sd := s.datasets[p.Name()+"/"+m.datasetID]
+	s.mu.RUnlock()
+	if sd == nil {
+		s.fail(w, http.StatusGone, "model's dataset was removed")
+		return
+	}
+	width := sd.data.D()
+	for i, inst := range req.Instances {
+		if len(inst) != width {
+			s.fail(w, http.StatusBadRequest, "instance %d has %d features, dataset has %d", i, len(inst), width)
+			return
+		}
+	}
+	labels, err := p.PredictPoints(m.config, sd.data, req.Instances, m.seed)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Labels: labels})
+}

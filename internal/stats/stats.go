@@ -1,0 +1,368 @@
+// Package stats provides the statistical machinery the paper's analysis
+// uses: Friedman average-rank scoring across datasets (§3.2, Table 3),
+// empirical CDFs (Figures 11, 12, 14), and the rank/independence statistics
+// that back the filter feature-selection methods (Pearson, Spearman,
+// Kendall, chi-square, ANOVA F, mutual information).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// FriedmanRanks computes the Friedman average ranks for k subjects measured
+// on b blocks. scores[block][subject] is the metric value (higher = better).
+// The returned rank for each subject is its average rank across blocks,
+// where the best subject in a block gets rank 1 and ties share the average
+// of the tied positions. Lower average rank therefore means consistently
+// better performance, matching the paper's Table 3 convention.
+func FriedmanRanks(scores [][]float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	k := len(scores[0])
+	sums := make([]float64, k)
+	for _, block := range scores {
+		ranks := rankDescending(block)
+		for j, r := range ranks {
+			sums[j] += r
+		}
+	}
+	for j := range sums {
+		sums[j] /= float64(len(scores))
+	}
+	return sums
+}
+
+// rankDescending assigns rank 1 to the largest value; ties get the average
+// of the positions they span.
+func rankDescending(vals []float64) []float64 {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for t := i; t <= j; t++ {
+			ranks[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// FriedmanStatistic computes the Friedman chi-square statistic for the given
+// blocks (datasets) × subjects (platforms) score matrix. Large values reject
+// the hypothesis that all subjects perform alike.
+func FriedmanStatistic(scores [][]float64) float64 {
+	b := len(scores)
+	if b == 0 {
+		return 0
+	}
+	k := len(scores[0])
+	if k < 2 {
+		return 0
+	}
+	avg := FriedmanRanks(scores)
+	sum := 0.0
+	for _, r := range avg {
+		d := r - float64(k+1)/2
+		sum += d * d
+	}
+	return 12 * float64(b) / float64(k*(k+1)) * sum
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	X float64 `json:"x"`
+	P float64 `json:"p"`
+}
+
+// ECDF returns the empirical CDF of xs as sorted (value, fraction ≤ value)
+// steps. Duplicate values are merged into a single step.
+func ECDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: s[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation.
+// It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y
+// (0 when either side has zero variance).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	_ = n
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Spearman returns the Spearman rank correlation of x and y.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	rx := rankAscending(x)
+	ry := rankAscending(y)
+	return Pearson(rx, ry)
+}
+
+func rankAscending(vals []float64) []float64 {
+	neg := make([]float64, len(vals))
+	for i, v := range vals {
+		neg[i] = -v
+	}
+	return rankDescending(neg)
+}
+
+// Kendall returns the Kendall tau-b rank correlation of x and y. O(n²),
+// fine for the feature-scoring sample sizes used here.
+func Kendall(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// double tie: counts in both tie terms
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	den := math.Sqrt((n0 - tiesX) * (n0 - tiesY))
+	if den == 0 {
+		return 0
+	}
+	return (concordant - discordant) / den
+}
+
+// ChiSquare computes the chi-square statistic between a feature (binned into
+// nbins equal-width bins) and a binary label. Larger values indicate more
+// class-discriminatory power.
+func ChiSquare(feature []float64, label []int, nbins int) float64 {
+	n := len(feature)
+	if n == 0 || n != len(label) || nbins < 2 {
+		return 0
+	}
+	lo, hi := feature[0], feature[0]
+	for _, v := range feature {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		return 0
+	}
+	counts := make([][2]float64, nbins)
+	var classTotal [2]float64
+	for i, v := range feature {
+		b := int(float64(nbins) * (v - lo) / (hi - lo))
+		if b == nbins {
+			b--
+		}
+		counts[b][label[i]]++
+		classTotal[label[i]]++
+	}
+	stat := 0.0
+	for b := 0; b < nbins; b++ {
+		rowTotal := counts[b][0] + counts[b][1]
+		if rowTotal == 0 {
+			continue
+		}
+		for c := 0; c < 2; c++ {
+			expected := rowTotal * classTotal[c] / float64(n)
+			if expected == 0 {
+				continue
+			}
+			d := counts[b][c] - expected
+			stat += d * d / expected
+		}
+	}
+	return stat
+}
+
+// AnovaF computes the one-way ANOVA F statistic of a feature grouped by a
+// binary label — the FClassif criterion in scikit-learn.
+func AnovaF(feature []float64, label []int) float64 {
+	n := len(feature)
+	if n < 3 || n != len(label) {
+		return 0
+	}
+	var sum [2]float64
+	var cnt [2]float64
+	for i, v := range feature {
+		sum[label[i]] += v
+		cnt[label[i]]++
+	}
+	if cnt[0] == 0 || cnt[1] == 0 {
+		return 0
+	}
+	grand := (sum[0] + sum[1]) / float64(n)
+	m0, m1 := sum[0]/cnt[0], sum[1]/cnt[1]
+	ssBetween := cnt[0]*(m0-grand)*(m0-grand) + cnt[1]*(m1-grand)*(m1-grand)
+	ssWithin := 0.0
+	for i, v := range feature {
+		m := m0
+		if label[i] == 1 {
+			m = m1
+		}
+		ssWithin += (v - m) * (v - m)
+	}
+	dfBetween := 1.0
+	dfWithin := float64(n - 2)
+	if ssWithin == 0 {
+		if ssBetween == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (ssBetween / dfBetween) / (ssWithin / dfWithin)
+}
+
+// FisherScore computes the Fisher criterion for a feature and binary label:
+// (μ₀-μ₁)² / (σ₀²+σ₁²). Zero-variance features with separated means get +Inf.
+func FisherScore(feature []float64, label []int) float64 {
+	var sum, sumSq [2]float64
+	var cnt [2]float64
+	for i, v := range feature {
+		c := label[i]
+		sum[c] += v
+		sumSq[c] += v * v
+		cnt[c]++
+	}
+	if cnt[0] == 0 || cnt[1] == 0 {
+		return 0
+	}
+	m0, m1 := sum[0]/cnt[0], sum[1]/cnt[1]
+	v0 := sumSq[0]/cnt[0] - m0*m0
+	v1 := sumSq[1]/cnt[1] - m1*m1
+	num := (m0 - m1) * (m0 - m1)
+	den := v0 + v1
+	if den <= 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// MutualInformation estimates I(feature; label) in nats by binning the
+// feature into nbins equal-width bins.
+func MutualInformation(feature []float64, label []int, nbins int) float64 {
+	n := len(feature)
+	if n == 0 || n != len(label) || nbins < 2 {
+		return 0
+	}
+	lo, hi := feature[0], feature[0]
+	for _, v := range feature {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		return 0
+	}
+	joint := make([][2]float64, nbins)
+	var py [2]float64
+	px := make([]float64, nbins)
+	for i, v := range feature {
+		b := int(float64(nbins) * (v - lo) / (hi - lo))
+		if b == nbins {
+			b--
+		}
+		joint[b][label[i]]++
+		px[b]++
+		py[label[i]]++
+	}
+	mi := 0.0
+	fn := float64(n)
+	for b := 0; b < nbins; b++ {
+		for c := 0; c < 2; c++ {
+			if joint[b][c] == 0 {
+				continue
+			}
+			pxy := joint[b][c] / fn
+			mi += pxy * math.Log(pxy*fn*fn/(px[b]*py[c]))
+		}
+	}
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}

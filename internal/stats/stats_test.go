@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlaasbench/internal/rng"
+)
+
+func TestFriedmanRanksSimple(t *testing.T) {
+	// Subject 0 always best, subject 2 always worst.
+	scores := [][]float64{
+		{0.9, 0.5, 0.1},
+		{0.8, 0.6, 0.2},
+		{0.7, 0.4, 0.3},
+	}
+	r := FriedmanRanks(scores)
+	if r[0] != 1 || r[1] != 2 || r[2] != 3 {
+		t.Fatalf("ranks %v", r)
+	}
+}
+
+func TestFriedmanRanksTies(t *testing.T) {
+	scores := [][]float64{{0.5, 0.5, 0.1}}
+	r := FriedmanRanks(scores)
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 3 {
+		t.Fatalf("tie ranks %v", r)
+	}
+}
+
+func TestFriedmanRanksEmpty(t *testing.T) {
+	if FriedmanRanks(nil) != nil {
+		t.Fatal("expected nil for no blocks")
+	}
+}
+
+func TestFriedmanStatisticDiscriminates(t *testing.T) {
+	// Consistent ordering should give a much larger statistic than noise.
+	consistent := [][]float64{}
+	r := rng.New(1)
+	for i := 0; i < 30; i++ {
+		consistent = append(consistent, []float64{0.9 + 0.01*r.Float64(), 0.5, 0.1})
+	}
+	noisy := [][]float64{}
+	for i := 0; i < 30; i++ {
+		noisy = append(noisy, []float64{r.Float64(), r.Float64(), r.Float64()})
+	}
+	if FriedmanStatistic(consistent) <= FriedmanStatistic(noisy) {
+		t.Fatalf("consistent %v <= noisy %v", FriedmanStatistic(consistent), FriedmanStatistic(noisy))
+	}
+}
+
+func TestECDF(t *testing.T) {
+	pts := ECDF([]float64{3, 1, 2, 2})
+	// values 1 (1/4), 2 (3/4), 3 (4/4)
+	if len(pts) != 3 {
+		t.Fatalf("ECDF %v", pts)
+	}
+	if pts[0].X != 1 || pts[0].P != 0.25 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[1].X != 2 || pts[1].P != 0.75 {
+		t.Fatalf("second point %+v", pts[1])
+	}
+	if pts[2].P != 1 {
+		t.Fatalf("last point %+v", pts[2])
+	}
+	if ECDF(nil) != nil {
+		t.Fatal("empty ECDF")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median %v", Quantile(xs, 0.5))
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 %v", q)
+	}
+	if q := Quantile([]float64{1, 2}, 0.5); q != 1.5 {
+		t.Fatalf("interpolated %v", q)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if p := Pearson(x, y); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("Pearson %v", p)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if p := Pearson(x, neg); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("Pearson %v", p)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant x should give 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125} // nonlinear but monotone
+	if s := Spearman(x, y); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("Spearman %v", s)
+	}
+}
+
+func TestKendallKnown(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{1, 2, 3}
+	if k := Kendall(x, y); math.Abs(k-1) > 1e-12 {
+		t.Fatalf("Kendall %v", k)
+	}
+	yRev := []float64{3, 2, 1}
+	if k := Kendall(x, yRev); math.Abs(k+1) > 1e-12 {
+		t.Fatalf("Kendall %v", k)
+	}
+}
+
+func TestChiSquareDiscriminative(t *testing.T) {
+	// Feature perfectly separates classes → large statistic.
+	var feat []float64
+	var lab []int
+	for i := 0; i < 50; i++ {
+		feat = append(feat, 0)
+		lab = append(lab, 0)
+		feat = append(feat, 10)
+		lab = append(lab, 1)
+	}
+	sep := ChiSquare(feat, lab, 5)
+	r := rng.New(2)
+	var featR []float64
+	for i := 0; i < 100; i++ {
+		featR = append(featR, r.Float64()*10)
+	}
+	random := ChiSquare(featR, lab, 5)
+	if sep <= random {
+		t.Fatalf("separating %v <= random %v", sep, random)
+	}
+	if ChiSquare([]float64{1, 1}, []int{0, 1}, 5) != 0 {
+		t.Fatal("constant feature")
+	}
+}
+
+func TestAnovaF(t *testing.T) {
+	feat := []float64{1, 1.1, 0.9, 5, 5.1, 4.9}
+	lab := []int{0, 0, 0, 1, 1, 1}
+	if f := AnovaF(feat, lab); f < 100 {
+		t.Fatalf("separated classes F = %v, want large", f)
+	}
+	same := []float64{1, 2, 3, 1, 2, 3}
+	if f := AnovaF(same, lab); f > 1 {
+		t.Fatalf("identical classes F = %v, want small", f)
+	}
+	if AnovaF([]float64{1, 2}, []int{0, 1}) != 0 {
+		t.Fatal("too few samples")
+	}
+}
+
+func TestFisherScore(t *testing.T) {
+	feat := []float64{0, 0.1, -0.1, 10, 10.1, 9.9}
+	lab := []int{0, 0, 0, 1, 1, 1}
+	if f := FisherScore(feat, lab); f < 100 {
+		t.Fatalf("Fisher score %v, want large", f)
+	}
+	if FisherScore([]float64{1, 2}, []int{0, 0}) != 0 {
+		t.Fatal("single class")
+	}
+	// Zero variance, separated means → +Inf.
+	if f := FisherScore([]float64{0, 0, 1, 1}, []int{0, 0, 1, 1}); !math.IsInf(f, 1) {
+		t.Fatalf("degenerate Fisher = %v", f)
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Perfectly informative feature: MI ≈ H(Y) = ln 2.
+	var feat []float64
+	var lab []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		feat = append(feat, float64(c*10))
+		lab = append(lab, c)
+	}
+	mi := MutualInformation(feat, lab, 4)
+	if math.Abs(mi-math.Ln2) > 0.01 {
+		t.Fatalf("MI = %v, want ~%v", mi, math.Ln2)
+	}
+	// Independent feature: MI near 0.
+	r := rng.New(3)
+	var featR []float64
+	for i := 0; i < 200; i++ {
+		featR = append(featR, r.Float64())
+	}
+	if mi := MutualInformation(featR, lab, 4); mi > 0.05 {
+		t.Fatalf("independent MI = %v", mi)
+	}
+}
+
+// Property: ECDF is non-decreasing and ends at 1.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		pts := ECDF(xs)
+		prev := 0.0
+		for _, p := range pts {
+			if p.P < prev {
+				return false
+			}
+			prev = p.P
+		}
+		return math.Abs(pts[len(pts)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: correlations stay within [-1, 1].
+func TestQuickCorrelationBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		for _, c := range []float64{Pearson(x, y), Spearman(x, y), Kendall(x, y)} {
+			if c < -1-1e-9 || c > 1+1e-9 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Friedman average ranks always sum to b·k(k+1)/2 / b = k(k+1)/2.
+func TestQuickFriedmanRankSum(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b, k := 1+r.Intn(10), 2+r.Intn(5)
+		scores := make([][]float64, b)
+		for i := range scores {
+			row := make([]float64, k)
+			for j := range row {
+				row[j] = r.Float64()
+			}
+			scores[i] = row
+		}
+		ranks := FriedmanRanks(scores)
+		sum := 0.0
+		for _, v := range ranks {
+			sum += v
+		}
+		want := float64(k*(k+1)) / 2
+		return math.Abs(sum-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"math"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/rng"
+)
+
+// CorpusSeed is the seed every corpus-level experiment derives from. Change
+// it and every table regenerates under a fresh-but-reproducible corpus.
+const CorpusSeed uint64 = 0x1727_2017
+
+// domainPlan fixes the Figure 3(a) breakdown: 44 Life Science, 18 Computer &
+// Games, 17 Synthetic, 10 Social Science, 10 Physical Science, 7 Financial &
+// Business, 13 Other = 119 datasets.
+var domainPlan = []struct {
+	domain dataset.Domain
+	count  int
+	gens   []Generator // concept families plausible for the domain
+}{
+	{dataset.DomainLifeScience, 44, []Generator{GenBlobs, GenQuadratic, GenSparse, GenClusters, GenLinear}},
+	{dataset.DomainComputer, 18, []Generator{GenXOR, GenMoons, GenClusters, GenBlobs}},
+	{dataset.DomainSynthetic, 17, []Generator{GenCircles, GenLinear, GenMoons, GenXOR, GenBlobs}},
+	{dataset.DomainSocial, 10, []Generator{GenLinear, GenBlobs, GenClusters}},
+	{dataset.DomainPhysical, 10, []Generator{GenQuadratic, GenBlobs, GenLinear}},
+	{dataset.DomainFinancial, 7, []Generator{GenLinear, GenBlobs, GenSparse}},
+	{dataset.DomainOther, 13, []Generator{GenBlobs, GenMoons, GenLinear, GenQuadratic}},
+}
+
+// Corpus returns the full 119-dataset catalog. The specs (names, domains,
+// nominal sizes, difficulty knobs) are deterministic: the same call always
+// returns the same catalog, so experiment results are addressable by
+// dataset name.
+func Corpus() []Spec {
+	r := rng.New(CorpusSeed).Split("corpus")
+	var specs []Spec
+	for _, plan := range domainPlan {
+		dr := r.Split(string(plan.domain))
+		for i := 0; i < plan.count; i++ {
+			spec := randomSpec(dr, plan.domain, plan.gens, i)
+			specs = append(specs, spec)
+		}
+	}
+	// Overwrite two Synthetic slots with the paper's §6 probe datasets,
+	// generated exactly as sklearn's make_circles / make_classification.
+	for i := range specs {
+		if specs[i].Domain != dataset.DomainSynthetic {
+			continue
+		}
+		specs[i] = CircleSpec()
+		for j := i + 1; j < len(specs); j++ {
+			if specs[j].Domain == dataset.DomainSynthetic {
+				specs[j] = LinearSpec()
+				break
+			}
+		}
+		break
+	}
+	return specs
+}
+
+// randomSpec draws one dataset spec whose marginals follow Figure 3(b)/(c):
+// sample counts log-uniform-ish across 15…245k, feature counts skewed low
+// across 1…4.7k.
+func randomSpec(r *rng.RNG, dom dataset.Domain, gens []Generator, idx int) Spec {
+	sr := r.Split(specName(dom, idx))
+	// Sample count: log-uniform between 15 and 245,057 with the top decade
+	// thinned (the paper deliberately limited >100k datasets).
+	n := int(math.Exp(sr.Uniform(math.Log(15), math.Log(245057))))
+	if n > 100000 && sr.Bernoulli(0.7) {
+		n /= 20
+	}
+	// Feature count: log-uniform 1…4702, skewed toward ≤100 (Fig 3c shows
+	// ~80% of datasets under 100 features).
+	d := int(math.Exp(sr.Uniform(0, math.Log(4702))))
+	if d > 100 && sr.Bernoulli(0.75) {
+		d = 1 + d%100
+	}
+	if d < 1 {
+		d = 1
+	}
+	gen := gens[sr.Intn(len(gens))]
+	// Geometry-dependent generators need at least 2 dims.
+	if d < 2 {
+		switch gen {
+		case GenCircles, GenMoons, GenXOR, GenClusters, GenQuadratic:
+			d = 2
+		}
+	}
+	spec := Spec{
+		Name:       specName(dom, idx),
+		Domain:     dom,
+		Gen:        gen,
+		N:          n,
+		D:          d,
+		Noise:      sr.Uniform(0.05, 0.5),
+		LabelNoise: sr.Uniform(0, 0.12),
+		Imbalance:  0.5,
+	}
+	// A third of datasets are imbalanced, matching the paper's motivation
+	// for using F-score over accuracy.
+	if sr.Bernoulli(0.33) {
+		spec.Imbalance = sr.Uniform(0.1, 0.35)
+	}
+	if sr.Bernoulli(0.4) {
+		spec.NoiseFeats = 1 + sr.Intn(maxInt(d/2, 2))
+	}
+	if sr.Bernoulli(0.3) {
+		spec.RedundFeats = 1 + sr.Intn(maxInt(d/3, 2))
+	}
+	// Social/financial/life-science data carries categorical fields and
+	// missing values more often than synthetic data.
+	switch dom {
+	case dataset.DomainSocial, dataset.DomainFinancial:
+		spec.CategFrac = sr.Uniform(0.2, 0.6)
+		spec.MissingRate = sr.Uniform(0, 0.08)
+	case dataset.DomainLifeScience, dataset.DomainOther:
+		if sr.Bernoulli(0.5) {
+			spec.CategFrac = sr.Uniform(0, 0.3)
+		}
+		if sr.Bernoulli(0.4) {
+			spec.MissingRate = sr.Uniform(0, 0.05)
+		}
+	}
+	return spec
+}
+
+func specName(dom dataset.Domain, idx int) string {
+	prefix := map[dataset.Domain]string{
+		dataset.DomainLifeScience: "life",
+		dataset.DomainComputer:    "comp",
+		dataset.DomainSynthetic:   "synth",
+		dataset.DomainSocial:      "social",
+		dataset.DomainPhysical:    "phys",
+		dataset.DomainFinancial:   "fin",
+		dataset.DomainOther:       "other",
+	}[dom]
+	return prefix + "-" + twoDigits(idx)
+}
+
+func twoDigits(i int) string {
+	return string([]byte{byte('0' + i/10), byte('0' + i%10)})
+}
+
+// CircleSpec is the paper's CIRCLE probe: sklearn make_circles — two
+// concentric circles, non-linearly separable (Figure 9a).
+func CircleSpec() Spec {
+	return Spec{
+		Name:   "CIRCLE",
+		Domain: dataset.DomainSynthetic,
+		Gen:    GenCircles,
+		N:      500,
+		D:      2,
+		Noise:  0.1,
+	}
+}
+
+// LinearSpec is the paper's LINEAR probe: sklearn make_classification — a
+// noisy linearly separable concept (Figure 9b).
+func LinearSpec() Spec {
+	return Spec{
+		Name:   "LINEAR",
+		Domain: dataset.DomainSynthetic,
+		Gen:    GenLinear,
+		N:      500,
+		D:      2,
+		Noise:  0.6,
+	}
+}
+
+// GenerateCorpus materializes every corpus dataset under the profile,
+// applying the paper's local preprocessing (§3.1): categorical→ordinal
+// encoding and median imputation. Datasets arrive ready for upload.
+func GenerateCorpus(p Profile, seed uint64) []*dataset.Dataset {
+	specs := Corpus()
+	out := make([]*dataset.Dataset, len(specs))
+	for i, spec := range specs {
+		out[i] = GenerateClean(spec, p, seed)
+	}
+	return out
+}
+
+// GenerateClean generates one dataset and applies the paper's preprocessing
+// steps (encode categoricals, impute missing values).
+func GenerateClean(spec Spec, p Profile, seed uint64) *dataset.Dataset {
+	ds := Generate(spec, p, seed)
+	ds.EncodeCategorical()
+	ds.Impute()
+	return ds
+}
+
+// CorpusByName returns the spec with the given name, or false.
+func CorpusByName(name string) (Spec, bool) {
+	for _, s := range Corpus() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

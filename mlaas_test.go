@@ -1,0 +1,169 @@
+package mlaas
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCorpusFacade(t *testing.T) {
+	if got := len(Corpus()); got != 119 {
+		t.Fatalf("corpus size %d", got)
+	}
+	if _, ok := CorpusByName("CIRCLE"); !ok {
+		t.Fatal("CIRCLE missing")
+	}
+	ds := Dataset("LINEAR")
+	if ds.N() == 0 || ds.D() != 2 {
+		t.Fatalf("LINEAR shape %dx%d", ds.N(), ds.D())
+	}
+}
+
+func TestDatasetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dataset("nope")
+}
+
+func TestSplitAndRunPipeline(t *testing.T) {
+	ds := Dataset("LINEAR")
+	split := Split(ds, DefaultSeed)
+	if split.Train.N()+split.Test.N() != ds.N() {
+		t.Fatal("split loses samples")
+	}
+	scores, err := RunPipeline(Config{Classifier: "logreg", Params: map[string]any{}}, split, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.F1 < 0.7 {
+		t.Fatalf("F1 %.3f", scores.F1)
+	}
+}
+
+func TestPlatformFacade(t *testing.T) {
+	names := Platforms()
+	if len(names) != 7 {
+		t.Fatalf("platforms %v", names)
+	}
+	for _, n := range names {
+		p, err := Platform(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Fatalf("platform %s reports %s", n, p.Name())
+		}
+	}
+	if _, err := Platform("watson"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBoundaryFacade(t *testing.T) {
+	circle, linear := ProbeDatasets(Quick, DefaultSeed)
+	if circle.Name != "CIRCLE" || linear.Name != "LINEAR" {
+		t.Fatalf("probe names %s/%s", circle.Name, linear.Name)
+	}
+	google, err := Platform("google")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := ExtractBoundary(google, circle, Config{}, 12, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Labels) != 144 {
+		t.Fatalf("mesh %d", len(bm.Labels))
+	}
+}
+
+func TestServerClientFacade(t *testing.T) {
+	srv := httptest.NewServer(NewServer(func(string, ...any) {}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	infos, err := c.Platforms(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 7 {
+		t.Fatalf("%d platforms over HTTP", len(infos))
+	}
+	ds := Dataset("LINEAR")
+	split := Split(ds, DefaultSeed)
+	scores, err := c.Measure(context.Background(), "bigml", split, Config{Classifier: "logreg", Params: map[string]any{}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.F1 < 0.7 {
+		t.Fatalf("F1 %.3f over the wire", scores.F1)
+	}
+}
+
+func TestSmallSweepFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	opts := DefaultSweepOptions()
+	opts.MaxDatasets = 2
+	opts.Platforms = []string{"google", "amazon"}
+	sw, err := RunSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sw.Fig4()
+	if len(rows) != 2 {
+		t.Fatalf("%d fig4 rows", len(rows))
+	}
+}
+
+func TestCrossValidateFacade(t *testing.T) {
+	ds := Dataset("LINEAR")
+	scores, err := CrossValidate(Config{Classifier: "logreg", Params: map[string]any{}}, ds, 4, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 {
+		t.Fatalf("%d folds", len(scores))
+	}
+}
+
+func TestSelectConfigFacade(t *testing.T) {
+	ds := Dataset("CIRCLE")
+	lr := Config{Classifier: "logreg", Params: map[string]any{}}
+	dt := Config{Classifier: "dtree", Params: map[string]any{}}
+	best, f1, err := SelectConfig([]Config{lr, dt}, ds, 3, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Classifier != "dtree" || f1 < 0.5 {
+		t.Fatalf("selected %s at %.3f", best.Classifier, f1)
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	p, err := Platform("bigml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := Split(Dataset("CIRCLE"), DefaultSeed)
+	res, err := ExploreRandomClassifiers(p, split, 2, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tried) != 2 {
+		t.Fatalf("tried %v", res.Tried)
+	}
+}
+
+func TestWriteFig3Facade(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFig3(&buf, Quick, DefaultSeed)
+	if !strings.Contains(buf.String(), "Figure 3(a)") {
+		t.Fatal("fig3 output malformed")
+	}
+}
