@@ -1,0 +1,30 @@
+# Standard pre-merge gate: `make check` runs vet, the full test suite, and
+# the race detector over the concurrency-bearing packages (telemetry,
+# service, client). CI and humans alike should run it before merging.
+
+GO ?= go
+
+RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client
+
+.PHONY: all build vet test race check bench-quick
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+check: vet test race
+
+# A fast smoke sweep with the telemetry summary, for eyeballing where the
+# time goes.
+bench-quick:
+	$(GO) run ./cmd/mlaas-bench -datasets 5 table2 timecost

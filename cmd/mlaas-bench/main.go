@@ -18,6 +18,9 @@
 //	-seed S               measurement seed
 //	-cache FILE           persist/reuse the sweep's raw measurements
 //	-v                    progress logging
+//	-telemetry            print the end-of-run telemetry summary to stderr
+//	                      (per-stage p50/p95/p99 latency, counter totals;
+//	                      default true)
 //
 // One measurement sweep is shared across all requested experiments, so
 // "mlaas-bench all" costs one sweep plus the probe analyses.
@@ -36,6 +39,7 @@ import (
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
 	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
 )
 
 var sweepExperiments = map[string]bool{
@@ -51,6 +55,7 @@ func main() {
 	seed := flag.Uint64("seed", synth.CorpusSeed, "measurement seed")
 	verbose := flag.Bool("v", false, "progress logging")
 	cache := flag.String("cache", "", "sweep cache file: load if present, else run and save")
+	telemetrySummary := flag.Bool("telemetry", true, "print telemetry summary (stage latencies, counters) to stderr at exit")
 	flag.Parse()
 
 	args := flag.Args()
@@ -177,6 +182,15 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", exp))
 		}
+	}
+
+	// Where the run's time went: per-stage latency quantiles (upload,
+	// featsel, preprocess, fit, predict, score, ...), retry totals and the
+	// rest of the default registry, on stderr so experiment output stays
+	// pipeable.
+	if *telemetrySummary {
+		fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
+		telemetry.WriteDefaultSummary(os.Stderr)
 	}
 }
 

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mlaas-server [-addr :8080] [-quiet]
+//	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060]
 //
 // The API mirrors the 2016-era services the paper measured:
 //
@@ -11,6 +11,15 @@
 //	POST /v1/platforms/{platform}/datasets          (JSON or text/csv)
 //	POST /v1/platforms/{platform}/models
 //	POST /v1/platforms/{platform}/models/{id}/predictions
+//
+// Observability endpoints ride on the same listener:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /metrics.json   snapshot with p50/p95/p99 per histogram
+//	GET /healthz        liveness + uptime
+//
+// -pprof mounts net/http/pprof on a separate (private) listener so
+// profiling is never exposed on the public API address.
 package main
 
 import (
@@ -18,7 +27,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -29,6 +40,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
+	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this private address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 
 	logf := log.Printf
@@ -41,6 +53,10 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -50,8 +66,29 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("mlaas-server listening on %s", *addr)
+	log.Printf("mlaas-server listening on %s (metrics at /metrics, health at /healthz)", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
+	}
+}
+
+// servePprof exposes the standard pprof handlers on their own mux and
+// listener, keeping the profiling surface off the API address.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("pprof serve: %v", err)
+		return
+	}
+	log.Printf("pprof listening on %s/debug/pprof/", ln.Addr())
+	pprofSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := pprofSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pprof serve: %v", err)
 	}
 }

@@ -4,6 +4,13 @@
 // with the retry, backoff and rate-limiting discipline a five-month
 // measurement campaign needs (§3.2: experiments ran October 2016 through
 // February 2017 over the platforms' web APIs).
+//
+// Every logical request carries an X-Request-ID that is kept constant
+// across retries, echoed by the service, and stamped into errors — the
+// correlation handle between a failed measurement and the server's logs.
+// The client also records its own behaviour into a telemetry registry:
+// request counts, retries, backoff sleep and rate-limiter wait per
+// endpoint, so a sweep can report how the wire treated it.
 package client
 
 import (
@@ -12,14 +19,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/metrics"
 	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
 )
+
+// DefaultMaxBackoff caps the exponential retry delay. Without a cap the
+// doubling grows unbounded (attempt 20 would sleep ~29 hours).
+const DefaultMaxBackoff = 5 * time.Second
 
 // Client talks to one MLaaS service endpoint.
 type Client struct {
@@ -30,12 +45,23 @@ type Client struct {
 	// MaxRetries bounds retry attempts for transient failures (5xx and
 	// transport errors). Default 3.
 	MaxRetries int
-	// Backoff is the initial retry delay, doubled per attempt. Default
-	// 100ms.
+	// Backoff is the initial retry delay, doubled per attempt up to
+	// MaxBackoff. Default 100ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Default DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Seed roots the backoff jitter stream: the same seed yields the same
+	// sleep sequence, keeping sweeps reproducible end to end.
+	Seed uint64
 	// Limiter, when non-nil, gates every request (rate limiting against
 	// quota-limited services).
 	Limiter *RateLimiter
+	// Telemetry receives the client's metrics; nil means the process-wide
+	// telemetry.Default() registry.
+	Telemetry *telemetry.Registry
+
+	mu     sync.Mutex
+	jitter *rng.RNG
 }
 
 // New returns a client for the given base URL with default settings.
@@ -45,8 +71,36 @@ func New(baseURL string) *Client {
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
 		MaxRetries: 3,
 		Backoff:    100 * time.Millisecond,
+		MaxBackoff: DefaultMaxBackoff,
 	}
 }
+
+func (c *Client) registry() *telemetry.Registry {
+	if c.Telemetry != nil {
+		return c.Telemetry
+	}
+	return telemetry.Default()
+}
+
+// jitteredSleep maps a nominal backoff to the actual sleep: equal jitter,
+// half fixed plus half drawn from the client's deterministic jitter stream,
+// so concurrent clients with different seeds desynchronize their retry
+// storms while any single sweep stays reproducible.
+func (c *Client) jitteredSleep(d time.Duration) time.Duration {
+	c.mu.Lock()
+	if c.jitter == nil {
+		c.jitter = rng.New(c.Seed).Split("client/backoff")
+	}
+	f := c.jitter.Float64()
+	c.mu.Unlock()
+	half := d / 2
+	return half + time.Duration(f*float64(half))
+}
+
+// MinRatePerSec is the slowest refill NewRateLimiter supports: one token
+// per hour. Rates at or below zero (which would produce a nonsensical or
+// infinite ticker interval) are clamped to it.
+const MinRatePerSec = 1.0 / 3600
 
 // RateLimiter is a token bucket: capacity tokens, refilled at rate/sec.
 type RateLimiter struct {
@@ -55,10 +109,15 @@ type RateLimiter struct {
 }
 
 // NewRateLimiter starts a limiter allowing ratePerSec requests per second
-// with the given burst capacity. Call Stop to release its goroutine.
+// with the given burst capacity. Rates below MinRatePerSec (including zero,
+// negative and NaN, which would otherwise yield a bogus ticker interval)
+// are clamped to MinRatePerSec. Call Stop to release its goroutine.
 func NewRateLimiter(ratePerSec float64, burst int) *RateLimiter {
 	if burst < 1 {
 		burst = 1
+	}
+	if math.IsNaN(ratePerSec) || ratePerSec < MinRatePerSec {
+		ratePerSec = MinRatePerSec
 	}
 	rl := &RateLimiter{
 		tokens: make(chan struct{}, burst),
@@ -101,11 +160,17 @@ func (rl *RateLimiter) Stop() { close(rl.stop) }
 
 // apiErr is a non-2xx response.
 type apiErr struct {
-	Status int
-	Msg    string
+	Status    int
+	Msg       string
+	RequestID string
 }
 
-func (e *apiErr) Error() string { return fmt.Sprintf("api: %d: %s", e.Status, e.Msg) }
+func (e *apiErr) Error() string {
+	if e.RequestID == "" {
+		return fmt.Sprintf("api: %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("api: %d: %s (request %s)", e.Status, e.Msg, e.RequestID)
+}
 
 // IsRetryable reports whether an error is worth retrying (transport errors
 // and 5xx responses; 4xx means the request itself is wrong).
@@ -116,8 +181,10 @@ func IsRetryable(err error) bool {
 	return err != nil
 }
 
-// do executes one JSON request with retries and rate limiting.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// do executes one JSON request with retries and rate limiting. op is the
+// logical endpoint name used as the telemetry label ("upload", "train",
+// ...). One request id covers every retry of the same logical call.
+func (c *Client) do(ctx context.Context, op, method, path string, body, out any) error {
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 30 * time.Second}
@@ -130,6 +197,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
+	reg := c.registry()
+	reg.Counter("mlaas_client_requests_total", "endpoint", op).Inc()
+	reqID := telemetry.RequestID(ctx)
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+
 	var payload []byte
 	if body != nil {
 		var err error
@@ -141,15 +219,24 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			reg.Counter("mlaas_client_retries_total", "endpoint", op).Inc()
+			sleep := c.jitteredSleep(backoff)
+			reg.Histogram("mlaas_client_backoff_seconds", "endpoint", op).Observe(sleep.Seconds())
 			select {
-			case <-time.After(backoff):
+			case <-time.After(sleep):
 				backoff *= 2
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
 			case <-ctx.Done():
-				return ctx.Err()
+				return fmt.Errorf("client: %s aborted during backoff (request %s): %w", op, reqID, ctx.Err())
 			}
 		}
 		if c.Limiter != nil {
-			if err := c.Limiter.Wait(ctx); err != nil {
+			waitStart := time.Now()
+			err := c.Limiter.Wait(ctx)
+			reg.Histogram("mlaas_client_ratelimit_wait_seconds", "endpoint", op).Observe(time.Since(waitStart).Seconds())
+			if err != nil {
 				return err
 			}
 		}
@@ -158,15 +245,18 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("client: build request: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(telemetry.RequestIDHeader, reqID)
+		attemptStart := time.Now()
 		resp, err := httpc.Do(req)
+		reg.Histogram("mlaas_client_request_duration_seconds", "endpoint", op).Observe(time.Since(attemptStart).Seconds())
 		if err != nil {
-			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			lastErr = fmt.Errorf("client: %s %s (request %s): %w", method, path, reqID, err)
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
 		if err != nil {
-			lastErr = fmt.Errorf("client: read response: %w", err)
+			lastErr = fmt.Errorf("client: read response (request %s): %w", reqID, err)
 			continue
 		}
 		if resp.StatusCode >= 300 {
@@ -174,8 +264,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 				Error string `json:"error"`
 			}
 			_ = json.Unmarshal(data, &env)
-			lastErr = &apiErr{Status: resp.StatusCode, Msg: env.Error}
+			lastErr = &apiErr{Status: resp.StatusCode, Msg: env.Error, RequestID: reqID}
 			if !IsRetryable(lastErr) {
+				reg.Counter("mlaas_client_errors_total", "endpoint", op).Inc()
 				return lastErr
 			}
 			continue
@@ -184,24 +275,25 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return nil
 		}
 		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("client: decode response: %w", err)
+			return fmt.Errorf("client: decode response (request %s): %w", reqID, err)
 		}
 		return nil
 	}
+	reg.Counter("mlaas_client_errors_total", "endpoint", op).Inc()
 	return lastErr
 }
 
 // Platforms lists the platforms the service hosts.
 func (c *Client) Platforms(ctx context.Context) ([]service.PlatformInfo, error) {
 	var out []service.PlatformInfo
-	err := c.do(ctx, http.MethodGet, "/v1/platforms", nil, &out)
+	err := c.do(ctx, "platforms", http.MethodGet, "/v1/platforms", nil, &out)
 	return out, err
 }
 
 // Surface fetches one platform's control surface.
 func (c *Client) Surface(ctx context.Context, platform string) (service.SurfaceDoc, error) {
 	var out service.SurfaceDoc
-	err := c.do(ctx, http.MethodGet, "/v1/platforms/"+platform+"/surface", nil, &out)
+	err := c.do(ctx, "surface", http.MethodGet, "/v1/platforms/"+platform+"/surface", nil, &out)
 	return out, err
 }
 
@@ -209,7 +301,7 @@ func (c *Client) Surface(ctx context.Context, platform string) (service.SurfaceD
 func (c *Client) Upload(ctx context.Context, platform string, ds *dataset.Dataset) (string, error) {
 	req := service.UploadRequest{Name: ds.Name, X: ds.X, Y: ds.Y}
 	var out service.UploadResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/datasets", req, &out); err != nil {
+	if err := c.do(ctx, "upload", http.MethodPost, "/v1/platforms/"+platform+"/datasets", req, &out); err != nil {
 		return "", err
 	}
 	return out.ID, nil
@@ -227,7 +319,7 @@ func (c *Client) Train(ctx context.Context, platform, datasetID string, cfg pipe
 		}
 	}
 	var out service.TrainResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/models", req, &out); err != nil {
+	if err := c.do(ctx, "train", http.MethodPost, "/v1/platforms/"+platform+"/models", req, &out); err != nil {
 		return "", err
 	}
 	return out.ID, nil
@@ -237,7 +329,7 @@ func (c *Client) Train(ctx context.Context, platform, datasetID string, cfg pipe
 func (c *Client) Predict(ctx context.Context, platform, modelID string, instances [][]float64) ([]int, error) {
 	req := service.PredictRequest{Instances: instances}
 	var out service.PredictResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/platforms/"+platform+"/models/"+modelID+"/predictions", req, &out); err != nil {
+	if err := c.do(ctx, "predict", http.MethodPost, "/v1/platforms/"+platform+"/models/"+modelID+"/predictions", req, &out); err != nil {
 		return nil, err
 	}
 	return out.Labels, nil
@@ -248,7 +340,12 @@ func (c *Client) Predict(ctx context.Context, platform, modelID string, instance
 // held-out test set and score locally (the service never sees test labels,
 // exactly as in the study).
 func (c *Client) Measure(ctx context.Context, platform string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
-	dsID, err := c.Upload(ctx, platform, split.Train)
+	if c.Telemetry != nil {
+		ctx = telemetry.WithRegistry(ctx, c.Telemetry)
+	}
+	upCtx, span := telemetry.StartSpan(ctx, "upload")
+	dsID, err := c.Upload(upCtx, platform, split.Train)
+	span.End()
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: upload: %w", err)
 	}
@@ -258,6 +355,9 @@ func (c *Client) Measure(ctx context.Context, platform string, split dataset.Spl
 // MeasureOn is Measure for an already-uploaded dataset — the sweep path,
 // where one upload serves many configurations.
 func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
+	if c.Telemetry != nil {
+		ctx = telemetry.WithRegistry(ctx, c.Telemetry)
+	}
 	modelID, err := c.Train(ctx, platform, datasetID, cfg, seed)
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: train: %w", err)
@@ -266,7 +366,9 @@ func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, spli
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: predict: %w", err)
 	}
+	_, span := telemetry.StartSpan(ctx, "score")
 	scores, err := metrics.Score(split.Test.Y, labels)
+	span.End()
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: score: %w", err)
 	}

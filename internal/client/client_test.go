@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -79,8 +80,13 @@ func TestErrorMessageSurfaced(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	if got := err.Error(); got != `api: 404: unknown platform "watson"` {
+	got := err.Error()
+	if !strings.HasPrefix(got, `api: 404: unknown platform "watson"`) {
 		t.Fatalf("error message %q", got)
+	}
+	// The request id rides along for server-log correlation.
+	if !strings.Contains(got, "(request ") {
+		t.Fatalf("error message %q lacks request id", got)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"mlaasbench/internal/platforms"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
 )
 
 // Options configures a measurement sweep.
@@ -112,13 +113,17 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 		sw.ByPlatform[p.Name()] = make(map[string][]Measurement, len(specs))
 	}
 
+	ctx, sweepSpan := telemetry.StartSpan(ctx, "sweep")
+	defer sweepSpan.End()
 	splitRNG := rng.New(opts.Seed).Split("splits")
 	for _, spec := range specs {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: sweep cancelled: %w", err)
 		}
+		stopGen := telemetry.Time("corpus_gen")
 		ds := synth.GenerateClean(spec, opts.Profile, opts.Seed)
 		sp := ds.StratifiedSplit(0.7, splitRNG.Split(ds.Name))
+		stopGen()
 		sw.Datasets = append(sw.Datasets, DatasetInfo{
 			Name:   ds.Name,
 			Domain: ds.Domain,
@@ -136,6 +141,7 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s: %w", p.Name(), ds.Name, err)
 			}
+			telemetry.Default().Counter("mlaas_sweep_measurements_total", "platform", p.Name()).Add(int64(len(ms)))
 			sw.ByPlatform[p.Name()][ds.Name] = ms
 			if opts.Progress != nil {
 				opts.Progress(fmt.Sprintf("%-14s %-24s %d configs", p.Name(), ds.Name, len(ms)))

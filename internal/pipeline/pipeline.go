@@ -20,6 +20,7 @@ import (
 	"mlaasbench/internal/metrics"
 	"mlaasbench/internal/preprocess"
 	"mlaasbench/internal/rng"
+	"mlaasbench/internal/telemetry"
 )
 
 // Feat identifies one option of the FEAT control dimension: either no
@@ -107,11 +108,18 @@ func Run(cfg Config, train, test *dataset.Dataset, r *rng.RNG) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String())); err != nil {
+	stopFit := telemetry.Time("fit")
+	err = clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String()))
+	stopFit()
+	if err != nil {
 		return Result{}, fmt.Errorf("pipeline: fit %s on %s: %w", cfg.Classifier, train.Name, err)
 	}
+	stopPredict := telemetry.Time("predict")
 	pred := clf.Predict(xTe)
+	stopPredict()
+	stopScore := telemetry.Time("score")
 	scores, err := metrics.Score(test.Y, pred)
+	stopScore()
 	if err != nil {
 		return Result{}, fmt.Errorf("pipeline: score: %w", err)
 	}
@@ -131,15 +139,28 @@ func PredictPoints(cfg Config, train *dataset.Dataset, points [][]float64, r *rn
 	if err != nil {
 		return nil, err
 	}
-	if err := clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String())); err != nil {
+	stopFit := telemetry.Time("fit")
+	err = clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String()))
+	stopFit()
+	if err != nil {
 		return nil, fmt.Errorf("pipeline: fit %s: %w", cfg.Classifier, err)
 	}
-	return clf.Predict(xQ), nil
+	stopPredict := telemetry.Time("predict")
+	pred := clf.Predict(xQ)
+	stopPredict()
+	return pred, nil
 }
 
 // applyFeat fits the FEAT option on the training set and transforms both
-// feature matrices.
+// feature matrices. Scaling records under the "preprocess" stage, filter
+// methods and Fisher-LDA under "featsel"; the no-op option records nothing.
 func applyFeat(f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
+	switch f.Kind {
+	case "scaler":
+		defer telemetry.Time("preprocess")()
+	case "filter", "fisherlda":
+		defer telemetry.Time("featsel")()
+	}
 	switch f.Kind {
 	case "", "none":
 		return train.X, test.X, nil

@@ -27,11 +27,13 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"mlaasbench/internal/classifiers"
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/telemetry"
 )
 
 // Server hosts every simulated platform under one HTTP handler.
@@ -42,6 +44,8 @@ type Server struct {
 	models   map[string]*storedModel   // key: platform/id
 	nextID   int
 	logf     func(format string, args ...any)
+	reg      *telemetry.Registry
+	started  time.Time
 }
 
 type storedDataset struct {
@@ -57,7 +61,10 @@ type storedModel struct {
 }
 
 // NewServer constructs a server hosting all platforms. logf defaults to
-// log.Printf; pass a no-op to silence request logging.
+// log.Printf; pass a no-op to silence request logging. Metrics record into
+// the process-wide telemetry.Default() registry (so in-process pipeline
+// stage timings and HTTP metrics share one /metrics page); use WithRegistry
+// for an isolated registry.
 func NewServer(logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = log.Printf
@@ -67,6 +74,8 @@ func NewServer(logf func(format string, args ...any)) *Server {
 		datasets: map[string]*storedDataset{},
 		models:   map[string]*storedModel{},
 		logf:     logf,
+		reg:      telemetry.Default(),
+		started:  time.Now(),
 	}
 	for _, p := range platforms.All() {
 		s.plats[p.Name()] = p
@@ -74,28 +83,132 @@ func NewServer(logf func(format string, args ...any)) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler for the MLaaS API.
+// WithRegistry redirects the server's metrics into reg and returns the
+// server (chainable). Tests use it to isolate counters per server.
+func (s *Server) WithRegistry(reg *telemetry.Registry) *Server {
+	s.reg = reg
+	return s
+}
+
+// Registry returns the telemetry registry the server records into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the HTTP handler for the MLaaS API, with every route
+// instrumented: per-route/per-platform request counters by status class,
+// an in-flight gauge, latency histograms, and X-Request-ID propagation.
 func (s *Server) Handler() http.Handler {
+	s.describeMetrics()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/platforms", s.handleListPlatforms)
-	mux.HandleFunc("GET /v1/platforms/{platform}/surface", s.handleSurface)
-	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", s.handleUpload)
-	mux.HandleFunc("POST /v1/platforms/{platform}/models", s.handleTrain)
-	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.handlePredict)
+	mux.HandleFunc("GET /v1/platforms", s.instrument("list_platforms", s.handleListPlatforms))
+	mux.HandleFunc("GET /v1/platforms/{platform}/surface", s.instrument("surface", s.handleSurface))
+	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models", s.instrument("train", s.handleTrain))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// apiError is the uniform error envelope.
-type apiError struct {
-	Error string `json:"error"`
+func (s *Server) describeMetrics() {
+	s.reg.Describe("mlaas_http_requests_total", "HTTP requests by route, platform and status class.")
+	s.reg.Describe("mlaas_http_request_duration_seconds", "HTTP request latency by route.")
+	s.reg.Describe("mlaas_http_in_flight", "Requests currently being served.")
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// statusWriter captures the response status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func codeClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// instrument wraps a handler with the telemetry middleware. The route label
+// is static per registration; the platform label comes from the request
+// path ("" for platform-less routes).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(telemetry.RequestIDHeader)
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, reqID)
+		r = r.WithContext(telemetry.WithRequestID(r.Context(), reqID))
+
+		inFlight := s.reg.Gauge("mlaas_http_in_flight")
+		inFlight.Inc()
+		defer inFlight.Dec()
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.reg.Histogram("mlaas_http_request_duration_seconds", "route", route).
+			Observe(time.Since(start).Seconds())
+		s.reg.Counter("mlaas_http_requests_total",
+			"route", route,
+			"platform", r.PathValue("platform"),
+			"class", codeClass(sw.code)).Inc()
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the registry snapshot with precomputed
+// p50/p95/p99 per histogram series.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Platforms     int     `json:"platforms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Platforms:     len(s.plats),
+	})
+}
+
+// apiError is the uniform error envelope. RequestID carries the request's
+// correlation id so clients can match an error to server-side logs.
+type apiError struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	s.logf("service: %d %s", code, msg)
+	reqID := telemetry.RequestID(r.Context())
+	s.logf("service: %d %s (request %s)", code, msg, reqID)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(apiError{Error: msg})
+	_ = json.NewEncoder(w).Encode(apiError{Error: msg, RequestID: reqID})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -153,7 +266,7 @@ type ParamDoc struct {
 func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.platform(r)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		s.fail(w, r, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
 		return
 	}
 	surf := p.Surface()
@@ -203,7 +316,7 @@ type UploadResponse struct {
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.platform(r)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		s.fail(w, r, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
 		return
 	}
 	var ds *dataset.Dataset
@@ -212,30 +325,30 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(ct, "text/csv"):
 		parsed, err := dataset.ReadCSV(r.Body, "upload")
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "parse csv: %v", err)
+			s.fail(w, r, http.StatusBadRequest, "parse csv: %v", err)
 			return
 		}
 		ds = parsed
 	default:
 		var req UploadRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+			s.fail(w, r, http.StatusBadRequest, "parse json: %v", err)
 			return
 		}
 		ds = &dataset.Dataset{Name: req.Name, X: req.X, Y: req.Y}
 	}
 	if err := ds.Validate(); err != nil {
-		s.fail(w, http.StatusBadRequest, "invalid dataset: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "invalid dataset: %v", err)
 		return
 	}
 	if ds.N() == 0 {
-		s.fail(w, http.StatusBadRequest, "empty dataset")
+		s.fail(w, r, http.StatusBadRequest, "empty dataset")
 		return
 	}
 	// Like the real services, no data cleaning happens server-side (§2);
 	// datasets with missing values are rejected rather than silently fixed.
 	if ds.HasMissing() {
-		s.fail(w, http.StatusBadRequest, "dataset has missing values; clean before upload")
+		s.fail(w, r, http.StatusBadRequest, "dataset has missing values; clean before upload")
 		return
 	}
 
@@ -264,31 +377,31 @@ type TrainResponse struct {
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.platform(r)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		s.fail(w, r, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
 		return
 	}
 	var req TrainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "parse json: %v", err)
 		return
 	}
 	s.mu.RLock()
 	sd, ok := s.datasets[p.Name()+"/"+req.Dataset]
 	s.mu.RUnlock()
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown dataset %q on %s", req.Dataset, p.Name())
+		s.fail(w, r, http.StatusNotFound, "unknown dataset %q on %s", req.Dataset, p.Name())
 		return
 	}
 	cfg, err := s.buildConfig(p, req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Validate by training once now, so errors surface at model creation
 	// (the paper's platforms likewise failed at train time). A 2-point
 	// probe keeps the validation cheap.
 	if _, err := p.PredictPoints(cfg, sd.data, sd.data.X[:1], req.Seed); err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "train: %v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "train: %v", err)
 		return
 	}
 
@@ -357,42 +470,42 @@ type PredictResponse struct {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.platform(r)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
+		s.fail(w, r, http.StatusNotFound, "unknown platform %q", r.PathValue("platform"))
 		return
 	}
 	s.mu.RLock()
 	m, ok := s.models[p.Name()+"/"+r.PathValue("model")]
 	s.mu.RUnlock()
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown model %q on %s", r.PathValue("model"), p.Name())
+		s.fail(w, r, http.StatusNotFound, "unknown model %q on %s", r.PathValue("model"), p.Name())
 		return
 	}
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "parse json: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "parse json: %v", err)
 		return
 	}
 	if len(req.Instances) == 0 {
-		s.fail(w, http.StatusBadRequest, "no instances")
+		s.fail(w, r, http.StatusBadRequest, "no instances")
 		return
 	}
 	s.mu.RLock()
 	sd := s.datasets[p.Name()+"/"+m.datasetID]
 	s.mu.RUnlock()
 	if sd == nil {
-		s.fail(w, http.StatusGone, "model's dataset was removed")
+		s.fail(w, r, http.StatusGone, "model's dataset was removed")
 		return
 	}
 	width := sd.data.D()
 	for i, inst := range req.Instances {
 		if len(inst) != width {
-			s.fail(w, http.StatusBadRequest, "instance %d has %d features, dataset has %d", i, len(inst), width)
+			s.fail(w, r, http.StatusBadRequest, "instance %d has %d features, dataset has %d", i, len(inst), width)
 			return
 		}
 	}
 	labels, err := p.PredictPoints(m.config, sd.data, req.Instances, m.seed)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "predict: %v", err)
+		s.fail(w, r, http.StatusInternalServerError, "predict: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{Labels: labels})

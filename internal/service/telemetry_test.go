@@ -1,0 +1,173 @@
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// newObservedServer spins a server with an isolated registry so counters
+// are attributable to this test alone.
+func newObservedServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s := service.NewServer(func(string, ...any) {}).WithRegistry(reg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newObservedServer(t)
+	resp, body := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h service.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Platforms != 7 || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+func TestMetricsExposureChangesUnderLoad(t *testing.T) {
+	srv, _ := newObservedServer(t)
+
+	// Before any API traffic, the request counter family is absent.
+	_, before := get(t, srv.URL+"/metrics")
+	if strings.Contains(string(before), "mlaas_http_requests_total{") {
+		t.Fatalf("request counters present before traffic:\n%s", before)
+	}
+
+	for i := 0; i < 3; i++ {
+		if resp, _ := get(t, srv.URL+"/v1/platforms"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("list status %d", resp.StatusCode)
+		}
+	}
+	// One failing request too, to get a 4xx class series.
+	get(t, srv.URL+"/v1/platforms/watson/surface")
+
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`mlaas_http_requests_total{route="list_platforms",platform="",class="2xx"} 3`,
+		`mlaas_http_requests_total{route="surface",platform="watson",class="4xx"} 1`,
+		"# TYPE mlaas_http_request_duration_seconds histogram",
+		`mlaas_http_request_duration_seconds_count{route="list_platforms"} 3`,
+		"mlaas_http_in_flight",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsJSONSnapshot(t *testing.T) {
+	srv, _ := newObservedServer(t)
+	get(t, srv.URL+"/v1/platforms")
+	resp, body := get(t, srv.URL+"/metrics.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", resp.StatusCode)
+	}
+	var snap telemetry.SnapshotData
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Counters) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("snapshot empty after traffic: %+v", snap)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "mlaas_http_request_duration_seconds" && h.Count == 1 && h.P95 >= h.P50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no latency histogram with quantiles in snapshot: %+v", snap.Histograms)
+	}
+}
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	srv, _ := newObservedServer(t)
+
+	// Client-supplied id is echoed back.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/platforms", nil)
+	req.Header.Set(telemetry.RequestIDHeader, "sweep-17")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(telemetry.RequestIDHeader); got != "sweep-17" {
+		t.Fatalf("echoed request id %q, want sweep-17", got)
+	}
+
+	// Without one, the server generates an id.
+	resp2, _ := get(t, srv.URL+"/v1/platforms")
+	if resp2.Header.Get(telemetry.RequestIDHeader) == "" {
+		t.Fatal("server did not generate a request id")
+	}
+}
+
+func TestErrorEnvelopeCarriesRequestID(t *testing.T) {
+	srv, _ := newObservedServer(t)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/platforms/watson/surface", nil)
+	req.Header.Set(telemetry.RequestIDHeader, "err-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.RequestID != "err-trace-1" {
+		t.Fatalf("error envelope request_id %q, want err-trace-1 (%s)", env.RequestID, body)
+	}
+}
+
+func TestInFlightGaugeReturnsToZero(t *testing.T) {
+	srv, reg := newObservedServer(t)
+	for i := 0; i < 5; i++ {
+		get(t, srv.URL+"/v1/platforms")
+	}
+	if got := reg.Gauge("mlaas_http_in_flight").Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after requests completed", got)
+	}
+}

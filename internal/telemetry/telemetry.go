@@ -1,0 +1,337 @@
+// Package telemetry is the measurement harness around the measurement
+// harness: stdlib-only metrics and tracing for the service, client and
+// sweep stack. The paper's five-month campaign (§3.2) lived and died by
+// knowing what the platforms' web APIs were doing — latency, failures,
+// retries — so this reproduction records the same signals about itself.
+//
+// The package provides three metric kinds, all safe for concurrent use and
+// cheap enough for per-request hot paths (lock-free after first touch):
+//
+//   - Counter: a monotonically increasing int64 on atomics;
+//   - Gauge:   a settable int64 (in-flight requests, queue depths);
+//   - Histogram: bucketed latency distribution with atomic bucket counts,
+//     exposing count, sum and interpolated quantiles (p50/p95/p99).
+//
+// Metrics live in a Registry, addressed by name plus ordered label pairs:
+//
+//	reg.Counter("mlaas_http_requests_total", "route", "predict", "class", "2xx").Inc()
+//
+// A Registry renders itself as Prometheus text exposition (WritePrometheus)
+// and as a JSON snapshot (Snapshot); see expose.go. Tracing spans and
+// request-ID propagation live in trace.go.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// StageHistogram is the histogram family that spans and Time record into;
+// one series per pipeline stage (upload, featsel, preprocess, fit, predict,
+// score, ...).
+const StageHistogram = "mlaas_stage_duration_seconds"
+
+// DefBuckets are the default histogram bucket upper bounds in seconds:
+// exponential-ish from 100µs (an in-process fit on a tiny dataset) to 60s
+// (a full-profile training call over the wire).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a programming error and are ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Bucket bounds are upper
+// bounds in seconds; observations above the last bound land in an implicit
+// +Inf bucket. All mutation is atomic.
+type Histogram struct {
+	bounds  []float64       // finite upper bounds, ascending
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.buckets = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value (in seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank. Observations in the +Inf
+// bucket are attributed to the largest finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if cum+n >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns cumulative counts aligned with bounds + the +Inf
+// bucket, plus count and sum, read once.
+func (h *Histogram) snapshotBuckets() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.buckets))
+	var c uint64
+	for i := range h.buckets {
+		c += h.buckets[i].Load()
+		cum[i] = c
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels []string // ordered name/value pairs
+	metric any      // *Counter | *Gauge | *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry (or use Default).
+type Registry struct {
+	mu          sync.Mutex
+	families    map[string]*family
+	pendingHelp map[string]string // Describe calls before the family exists
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library code (pipeline stages,
+// the measurement client) records here unless handed an explicit registry,
+// so one bench run's numbers end up in one place.
+func Default() *Registry { return defaultRegistry }
+
+// Describe sets the help text rendered in the Prometheus exposition for a
+// family. Safe to call before or after the family's first series exists.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	if r.pendingHelp == nil {
+		r.pendingHelp = map[string]string{}
+	}
+	r.pendingHelp[name] = help
+}
+
+func (r *Registry) getFamily(name string, k kind, buckets []float64, create bool) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: %s registered as different metric kind", name))
+		}
+		return f
+	}
+	if !create {
+		return nil
+	}
+	f = &family{name: name, kind: k, buckets: buckets, series: map[string]*series{}}
+	if help, ok := r.pendingHelp[name]; ok {
+		f.help = help
+		delete(r.pendingHelp, name)
+	}
+	r.families[name] = f
+	return f
+}
+
+func labelKey(pairs []string) string {
+	if len(pairs)%2 != 0 {
+		panic("telemetry: labels must be name/value pairs")
+	}
+	return strings.Join(pairs, "\xff")
+}
+
+func (f *family) get(pairs []string, make func() any) any {
+	key := labelKey(pairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]string(nil), pairs...), metric: make()}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.metric
+}
+
+// Counter returns (creating if needed) the counter for name + label pairs.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	f := r.getFamily(name, kindCounter, nil, true)
+	return f.get(labelPairs, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge for name + label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	f := r.getFamily(name, kindGauge, nil, true)
+	return f.get(labelPairs, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram for name + label
+// pairs, with DefBuckets bounds.
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
+	return r.HistogramBuckets(name, DefBuckets, labelPairs...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket bounds. Bounds are
+// fixed by the first registration of the family; later calls reuse them.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labelPairs ...string) *Histogram {
+	f := r.getFamily(name, kindHistogram, bounds, true)
+	return f.get(labelPairs, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// familyNames returns registered family names, sorted (stable exposition).
+func (r *Registry) familyNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Registry) family(name string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.families[name]
+}
+
+// walk visits every series of every family in deterministic order.
+func (r *Registry) walk(visit func(f *family, labels []string, metric any)) {
+	for _, name := range r.familyNames() {
+		f := r.family(name)
+		if f == nil {
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		ser := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			ser = append(ser, f.series[k])
+		}
+		f.mu.Unlock()
+		for _, s := range ser {
+			visit(f, s.labels, s.metric)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header carrying the per-request correlation
+// id. The client generates it, the service echoes it, and both sides stamp
+// it into error messages so one failing sweep measurement can be matched to
+// its server-side log line.
+const RequestIDHeader = "X-Request-ID"
+
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char correlation id. Randomness comes
+// from crypto/rand; on the (practically impossible) failure of the system
+// entropy source it degrades to a process-local counter.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%08d", reqIDFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request id to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request id, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+type spanKey struct{}
+
+type registryKey struct{}
+
+// WithRegistry routes spans started under ctx into reg instead of Default.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, reg)
+}
+
+func registryFrom(ctx context.Context) *Registry {
+	if reg, ok := ctx.Value(registryKey{}).(*Registry); ok && reg != nil {
+		return reg
+	}
+	return Default()
+}
+
+// Span is one timed stage of a request or sweep. Start times use time.Now,
+// whose monotonic clock reading makes End durations immune to wall-clock
+// adjustments mid-measurement.
+type Span struct {
+	name  string
+	path  string
+	start time.Time
+	reg   *Registry
+	ended atomic.Bool
+}
+
+// StartSpan begins a span named name under ctx. The returned context
+// carries the span, so nested StartSpan calls record parent/child paths;
+// the span observes into the registry from WithRegistry (Default otherwise)
+// under the StageHistogram family with a "stage" label.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, path: name, start: time.Now(), reg: registryFrom(ctx)}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.path = parent.path + "/" + name
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFrom returns the innermost span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Name returns the span's own name.
+func (s *Span) Name() string { return s.name }
+
+// Path returns the slash-joined ancestry, e.g. "measure/upload".
+func (s *Span) Path() string { return s.path }
+
+// End stops the span, records its duration into the stage histogram and
+// returns the duration. Safe to call more than once; only the first call
+// records.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended.CompareAndSwap(false, true) {
+		s.reg.Histogram(StageHistogram, "stage", s.name).Observe(d.Seconds())
+	}
+	return d
+}
+
+// Time starts a stage timer on the registry; the returned func stops it and
+// records into the stage histogram. For hot paths without a context:
+//
+//	stop := reg.Time("fit")
+//	clf.Fit(...)
+//	stop()
+func (r *Registry) Time(stage string) func() time.Duration {
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		r.Histogram(StageHistogram, "stage", stage).Observe(d.Seconds())
+		return d
+	}
+}
+
+// Time is Registry.Time on the Default registry.
+func Time(stage string) func() time.Duration { return Default().Time(stage) }
+
+// WriteDefaultSummary writes the Default registry's summary — what
+// mlaas-bench prints when a run finishes.
+func WriteDefaultSummary(w io.Writer) { WriteSummary(w, Default()) }
