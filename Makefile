@@ -1,12 +1,14 @@
 # Standard pre-merge gate: `make check` runs vet, the full test suite, and
 # the race detector over the concurrency-bearing packages (telemetry,
-# service, client). CI and humans alike should run it before merging.
+# service, client, and the parallel sweep engine in core/pipeline/platforms).
+# CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
 
-RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client
+RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
+	./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench-quick
+.PHONY: all build vet test race check bench bench-quick
 
 all: check
 
@@ -19,10 +21,19 @@ vet:
 test:
 	$(GO) test ./...
 
+# The core race run is restricted to the parallel-engine tests: racing the
+# whole analysis suite re-runs the shared 8-dataset sweep under the race
+# detector, which triples check time without exercising new interleavings.
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
 check: vet test race
+
+# The serial-vs-parallel sweep-engine pair (BenchmarkSweepSerial /
+# BenchmarkSweepParallel4); results are committed as BENCH_*.json.
+bench:
+	$(GO) test -bench=Sweep -benchmem -run '^$$' .
 
 # A fast smoke sweep with the telemetry summary, for eyeballing where the
 # time goes.

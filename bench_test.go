@@ -90,6 +90,33 @@ func printArtifact(name string, render func()) {
 	onceAny.(*sync.Once).Do(render)
 }
 
+// benchmarkSweepEngine times the measurement engine itself (not the
+// analyses): a fresh RunSweep over a fixed corpus slice at the given worker
+// count. The serial/parallel pair feeds the BENCH_*.json trajectory and
+// demonstrates the worker-pool speedup; `make bench` runs them.
+func benchmarkSweepEngine(b *testing.B, workers int) {
+	opts := core.DefaultOptions()
+	opts.MaxDatasets = 6
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := core.RunSweep(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sw.Datasets) != opts.MaxDatasets {
+			b.Fatalf("sweep returned %d datasets", len(sw.Datasets))
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker baseline of the engine pair.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweepEngine(b, 1) }
+
+// BenchmarkSweepParallel4 runs the same campaign with a four-worker pool;
+// its measurements are byte-identical to the serial run's.
+func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepEngine(b, 4) }
+
 // BenchmarkFig3_Corpus regenerates the corpus characteristics (Fig 3a-c).
 func BenchmarkFig3_Corpus(b *testing.B) {
 	opts := benchOptions()

@@ -16,6 +16,8 @@
 //	-profile quick|full   corpus scale (default quick)
 //	-datasets N           limit the corpus to its first N datasets (0 = all 119)
 //	-seed S               measurement seed
+//	-workers N            sweep worker pool size (default: all CPUs; 1 = serial).
+//	                      Any worker count produces byte-identical measurements.
 //	-cache FILE           persist/reuse the sweep's raw measurements
 //	-v                    progress logging
 //	-telemetry            print the end-of-run telemetry summary to stderr
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 
 	"mlaasbench/internal/classifiers"
@@ -53,6 +56,7 @@ func main() {
 	profileName := flag.String("profile", "quick", "corpus profile: quick or full")
 	maxDatasets := flag.Int("datasets", 0, "limit corpus size (0 = all 119)")
 	seed := flag.Uint64("seed", synth.CorpusSeed, "measurement seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "sweep worker pool size (1 = serial)")
 	verbose := flag.Bool("v", false, "progress logging")
 	cache := flag.String("cache", "", "sweep cache file: load if present, else run and save")
 	telemetrySummary := flag.Bool("telemetry", true, "print telemetry summary (stage latencies, counters) to stderr at exit")
@@ -90,12 +94,13 @@ func main() {
 			Seed:             *seed,
 			MaxDatasets:      *maxDatasets,
 			StorePredictions: true,
+			Workers:          *workers,
 		}
 		if *verbose {
 			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		}
-		fmt.Fprintf(os.Stderr, "running measurement sweep (%d datasets, profile %s)...\n",
-			datasetCount(*maxDatasets), profile.Name)
+		fmt.Fprintf(os.Stderr, "running measurement sweep (%d datasets, profile %s, %d workers)...\n",
+			datasetCount(*maxDatasets), profile.Name, *workers)
 		sw, err = core.LoadOrRunSweep(ctx, *cache, opts)
 		if err != nil {
 			fatal(err)

@@ -81,13 +81,15 @@ func (b *BoostedTrees) Fit(x [][]float64, y []int, r *rng.RNG) error {
 	}
 	residual := make([]float64, n)
 	idx := allIndices(n)
+	pre := presortFeatures(x) // shared across rounds; residuals change, x doesn't
+	mem := &treeMem{}
 	b.trees = make([]*treeNode, 0, rounds)
 	for round := 0; round < rounds; round++ {
 		// Negative gradient of logistic loss: y - sigmoid(score).
 		for i := 0; i < n; i++ {
 			residual[i] = float64(y[i]) - linalg.Sigmoid(score[i])
 		}
-		tree := growTree(x, residual, idx, cfg, r, 0)
+		tree := growTreePresorted(pre, mem, x, residual, idx, cfg, r, 0)
 		b.trees = append(b.trees, tree)
 		for i := 0; i < n; i++ {
 			score[i] += b.lr * tree.predict(x[i])

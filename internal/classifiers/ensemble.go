@@ -58,10 +58,12 @@ func (b *Bagging) Fit(x [][]float64, y []int, r *rng.RNG) error {
 		criterion:     "gini",
 		nodeThreshold: b.params.Int("node_threshold", 2),
 	}
+	pre := presortFeatures(x)
+	mem := &treeMem{}
 	b.trees = make([]*treeNode, count)
 	for t := 0; t < count; t++ {
 		idx := bootstrapIndices(n, r)
-		b.trees[t] = growTree(x, target, idx, cfg, r, 0)
+		b.trees[t] = growTreePresorted(pre, mem, x, target, idx, cfg, r, 0)
 	}
 	return nil
 }
@@ -105,6 +107,8 @@ func (f *RandomForest) Fit(x [][]float64, y []int, r *rng.RNG) error {
 		cfg.minLeaf = 1
 	}
 	replicate := f.params.String("resampling", "bagging") == "replicate"
+	pre := presortFeatures(x)
+	mem := &treeMem{}
 	f.trees = make([]*treeNode, count)
 	for t := 0; t < count; t++ {
 		var idx []int
@@ -113,7 +117,7 @@ func (f *RandomForest) Fit(x [][]float64, y []int, r *rng.RNG) error {
 		} else {
 			idx = bootstrapIndices(n, r)
 		}
-		f.trees[t] = growTree(x, target, idx, cfg, r, 0)
+		f.trees[t] = growTreePresorted(pre, mem, x, target, idx, cfg, r, 0)
 	}
 	return nil
 }

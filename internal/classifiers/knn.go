@@ -1,8 +1,6 @@
 package classifiers
 
 import (
-	"sort"
-
 	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/rng"
 )
@@ -42,7 +40,11 @@ func (k *KNN) Fit(x [][]float64, y []int, _ *rng.RNG) error {
 	return nil
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier. Neighbour selection is a bounded
+// k-selection — an O(n log k) max-heap over the n training distances —
+// instead of a full O(n log n) sort per query; KNN is the hottest classifier
+// in the measurement sweep. Ties at the k-th distance break by training
+// index (lowest wins), which makes the selected set deterministic.
 func (k *KNN) Predict(x [][]float64) []int {
 	kk := k.params.Int("n_neighbors", 5)
 	if kk > len(k.x) {
@@ -58,12 +60,9 @@ func (k *KNN) Predict(x [][]float64) []int {
 	distWeighted := k.params.String("weights", "uniform") == "distance"
 
 	out := make([]int, len(x))
-	type nd struct {
-		dist float64
-		y    int
-	}
+	h := newKHeap(kk)
 	for qi, q := range x {
-		nds := make([]nd, len(k.x))
+		h.reset()
 		for i, row := range k.x {
 			var dist float64
 			if p == 2 {
@@ -71,20 +70,89 @@ func (k *KNN) Predict(x [][]float64) []int {
 			} else {
 				dist = linalg.MinkowskiDistance(row, q, p)
 			}
-			nds[i] = nd{dist: dist, y: k.y[i]}
+			h.offer(dist, i)
 		}
-		sort.Slice(nds, func(a, b int) bool { return nds[a].dist < nds[b].dist })
 		var votes [2]float64
-		for i := 0; i < kk; i++ {
+		for j := 0; j < len(h.dist); j++ {
 			wgt := 1.0
 			if distWeighted {
-				wgt = 1 / (nds[i].dist + 1e-9)
+				wgt = 1 / (h.dist[j] + 1e-9)
 			}
-			votes[nds[i].y] += wgt
+			votes[k.y[h.idx[j]]] += wgt
 		}
 		if votes[1] > votes[0] {
 			out[qi] = 1
 		}
 	}
 	return out
+}
+
+// kHeap keeps the k nearest (distance, training index) pairs seen so far as
+// a binary max-heap ordered lexicographically by (dist, idx): the root is
+// the current worst neighbour, so a closer candidate replaces it in O(log k).
+type kHeap struct {
+	k    int
+	dist []float64
+	idx  []int
+}
+
+func newKHeap(k int) *kHeap {
+	return &kHeap{k: k, dist: make([]float64, 0, k), idx: make([]int, 0, k)}
+}
+
+func (h *kHeap) reset() {
+	h.dist = h.dist[:0]
+	h.idx = h.idx[:0]
+}
+
+// after reports whether element a orders after element b, i.e. a is a worse
+// neighbour under the (dist, idx) lexicographic order.
+func (h *kHeap) after(a, b int) bool {
+	return h.dist[a] > h.dist[b] || (h.dist[a] == h.dist[b] && h.idx[a] > h.idx[b])
+}
+
+// offer considers one candidate: push while under capacity, else replace the
+// root when the candidate is nearer than the current worst neighbour.
+func (h *kHeap) offer(dist float64, idx int) {
+	if len(h.dist) < h.k {
+		h.dist = append(h.dist, dist)
+		h.idx = append(h.idx, idx)
+		for i := len(h.dist) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !h.after(i, parent) {
+				break
+			}
+			h.swap(i, parent)
+			i = parent
+		}
+		return
+	}
+	if dist > h.dist[0] || (dist == h.dist[0] && idx > h.idx[0]) {
+		return // not nearer than the current worst
+	}
+	h.dist[0], h.idx[0] = dist, idx
+	h.siftDown(0)
+}
+
+func (h *kHeap) swap(a, b int) {
+	h.dist[a], h.dist[b] = h.dist[b], h.dist[a]
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+}
+
+func (h *kHeap) siftDown(i int) {
+	n := len(h.dist)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.after(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.after(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.swap(i, worst)
+		i = worst
+	}
 }

@@ -1,0 +1,116 @@
+package classifiers
+
+import (
+	"sort"
+	"testing"
+
+	"mlaasbench/internal/linalg"
+	"mlaasbench/internal/rng"
+)
+
+// referenceKNNPredict is the straightforward full-sort implementation the
+// heap-based Predict replaced, with the same (dist, index) tie order.
+func referenceKNNPredict(k *KNN, x [][]float64) []int {
+	kk := k.params.Int("n_neighbors", 5)
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	if kk < 1 {
+		kk = 1
+	}
+	p := k.params.Float("p", 2)
+	if p < 1 {
+		p = 1
+	}
+	distWeighted := k.params.String("weights", "uniform") == "distance"
+	out := make([]int, len(x))
+	type nd struct {
+		dist float64
+		idx  int
+	}
+	for qi, q := range x {
+		nds := make([]nd, len(k.x))
+		for i, row := range k.x {
+			var dist float64
+			if p == 2 {
+				dist = linalg.SquaredEuclidean(row, q)
+			} else {
+				dist = linalg.MinkowskiDistance(row, q, p)
+			}
+			nds[i] = nd{dist: dist, idx: i}
+		}
+		sort.Slice(nds, func(a, b int) bool {
+			if nds[a].dist != nds[b].dist {
+				return nds[a].dist < nds[b].dist
+			}
+			return nds[a].idx < nds[b].idx
+		})
+		var votes [2]float64
+		for i := 0; i < kk; i++ {
+			wgt := 1.0
+			if distWeighted {
+				wgt = 1 / (nds[i].dist + 1e-9)
+			}
+			votes[k.y[nds[i].idx]] += wgt
+		}
+		if votes[1] > votes[0] {
+			out[qi] = 1
+		}
+	}
+	return out
+}
+
+// The bounded k-selection must agree with a full sort on every query —
+// including duplicate points, which force exact distance ties.
+func TestKNNSelectionMatchesFullSort(t *testing.T) {
+	r := rng.New(11)
+	for _, tc := range []struct {
+		name    string
+		k       int
+		weights string
+		p       float64
+	}{
+		{"uniform-k5", 5, "uniform", 2},
+		{"distance-k5", 5, "distance", 2},
+		{"uniform-k1", 1, "uniform", 2},
+		{"k-larger-than-n", 500, "uniform", 2},
+		{"minkowski-p3", 7, "uniform", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, d := 120, 4
+			x := make([][]float64, n)
+			y := make([]int, n)
+			for i := range x {
+				row := make([]float64, d)
+				for j := range row {
+					// Quantized coordinates create many duplicate rows and
+					// therefore exact distance ties.
+					row[j] = float64(r.Intn(4))
+				}
+				x[i] = row
+				y[i] = r.Intn(2)
+			}
+			knn := &KNN{params: Params{
+				"n_neighbors": float64(tc.k), "weights": tc.weights, "p": tc.p,
+			}}
+			if err := knn.Fit(x, y, nil); err != nil {
+				t.Fatal(err)
+			}
+			queries := make([][]float64, 40)
+			for i := range queries {
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = float64(r.Intn(4))
+				}
+				queries[i] = q
+			}
+			got := knn.Predict(queries)
+			want := referenceKNNPredict(knn, queries)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("query %d: heap selection %d, full sort %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

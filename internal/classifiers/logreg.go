@@ -73,6 +73,9 @@ func (l *LogisticRegression) fitSGD(x [][]float64, y []int, n, d int, r *rng.RNG
 	for i := range order {
 		order[i] = i
 	}
+	// Resolved outside the weight loop — the string switch ran per weight
+	// per sample and was measurable across the sweep.
+	l1 := penalty == "l1"
 	prevLoss := math.Inf(1)
 	for epoch := 0; epoch < maxIter; epoch++ {
 		if shuffle {
@@ -80,17 +83,20 @@ func (l *LogisticRegression) fitSGD(x [][]float64, y []int, n, d int, r *rng.RNG
 		}
 		lr := 1.0 / (1.0 + 0.1*float64(epoch))
 		for _, i := range order {
-			p := linalg.Sigmoid(linalg.Dot(l.w, x[i]) + l.b)
+			xi := x[i]
+			p := linalg.Sigmoid(linalg.Dot(l.w, xi) + l.b)
 			g := p - float64(y[i])
-			for j, xj := range x[i] {
-				grad := g * xj
-				switch penalty {
-				case "l1":
-					grad += lambda * sign(l.w[j])
-				default:
-					grad += lambda * l.w[j]
+			w := l.w[:len(xi)]
+			if l1 {
+				for j, xj := range xi {
+					grad := g*xj + lambda*sign(w[j])
+					w[j] -= lr * grad
 				}
-				l.w[j] -= lr * grad
+			} else {
+				for j, xj := range xi {
+					grad := g*xj + lambda*w[j]
+					w[j] -= lr * grad
+				}
 			}
 			if !l.noIntercept {
 				l.b -= lr * g

@@ -52,13 +52,16 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 	activation := m.params.String("activation", "relu")
 	adam := m.params.String("solver", "adam") == "adam"
 
-	// He/Xavier-style init.
+	// He/Xavier-style init. The weight rows share one contiguous backing
+	// array — the training loop streams over all of them every sample, and
+	// per-row allocations cost a pointer chase per hidden unit.
 	scale := math.Sqrt(2 / float64(d))
+	w1backing := make([]float64, hidden*d)
 	m.w1 = make([][]float64, hidden)
 	m.b1 = make([]float64, hidden)
 	m.w2 = make([]float64, hidden)
 	for h := range m.w1 {
-		row := make([]float64, d)
+		row := w1backing[h*d : (h+1)*d : (h+1)*d]
 		for j := range row {
 			row[j] = r.NormFloat64() * scale
 		}
@@ -76,65 +79,44 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 		ab2 adamState
 	)
 	if adam {
+		aw1backing := make([]adamState, hidden*d)
 		aw1 = make([][]adamState, hidden)
 		for h := range aw1 {
-			aw1[h] = make([]adamState, d)
+			aw1[h] = aw1backing[h*d : (h+1)*d : (h+1)*d]
 		}
 		ab1 = make([]adamState, hidden)
 		aw2 = make([]adamState, hidden)
 	}
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
-	step := 0
 	// Incrementally maintained powers of beta for Adam's bias correction —
 	// recomputing math.Pow per weight dominates training cost otherwise.
 	beta1Pow, beta2Pow := 1.0, 1.0
 	corr1, corr2 := 1.0, 1.0
 
-	act := func(z float64) float64 {
-		switch activation {
-		case "tanh":
-			return math.Tanh(z)
-		case "logistic":
-			return linalg.Sigmoid(z)
-		default:
-			if z > 0 {
-				return z
-			}
-			return 0
-		}
+	// The activation switch and the per-weight update are inlined into the
+	// training loop rather than closures: the update runs hidden×d times
+	// per sample and the call overhead is the single largest cost of the
+	// whole fit. The arithmetic is kept expression-for-expression identical
+	// to the closure form, so trained weights are bit-identical.
+	const (
+		actReLU = iota
+		actTanh
+		actLogistic
+	)
+	actKind := actReLU
+	switch activation {
+	case "tanh":
+		actKind = actTanh
+	case "logistic":
+		actKind = actLogistic
 	}
-	actGrad := func(z, a float64) float64 {
-		switch activation {
-		case "tanh":
-			return 1 - a*a
-		case "logistic":
-			return a * (1 - a)
-		default:
-			if z > 0 {
-				return 1
-			}
-			return 0
-		}
-	}
-
-	update := func(g float64, state *adamState, w *float64, lr float64) {
-		if !adam {
-			*w -= lr * g
-			return
-		}
-		state.m = beta1*state.m + (1-beta1)*g
-		state.v = beta2*state.v + (1-beta2)*g*g
-		mhat := state.m * corr1
-		vhat := state.v * corr2
-		*w -= lr * mhat / (math.Sqrt(vhat) + eps)
-	}
-
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	z1 := make([]float64, hidden)
 	a1 := make([]float64, hidden)
+	nf := float64(n)
 	for epoch := 0; epoch < epochs; epoch++ {
 		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		lr := 0.01
@@ -142,46 +124,83 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 			lr = 0.1 / (1 + 0.05*float64(epoch))
 		}
 		for _, i := range order {
-			step++
 			beta1Pow *= beta1
 			beta2Pow *= beta2
 			corr1 = 1 / (1 - beta1Pow)
 			corr2 = 1 / (1 - beta2Pow)
+			xi := x[i]
 			// Forward.
 			for h := 0; h < hidden; h++ {
-				z1[h] = linalg.Dot(m.w1[h], x[i]) + m.b1[h]
-				a1[h] = act(z1[h])
+				z := linalg.Dot(m.w1[h], xi) + m.b1[h]
+				z1[h] = z
+				switch actKind {
+				case actTanh:
+					a1[h] = math.Tanh(z)
+				case actLogistic:
+					a1[h] = linalg.Sigmoid(z)
+				default:
+					if z > 0 {
+						a1[h] = z
+					} else {
+						a1[h] = 0
+					}
+				}
 			}
 			z2 := linalg.Dot(m.w2, a1) + m.b2
 			p := linalg.Sigmoid(z2)
 			// Backward: dLoss/dz2 = p - y.
 			g2 := p - float64(y[i])
 			for h := 0; h < hidden; h++ {
-				gw2 := g2*a1[h] + alpha*m.w2[h]/float64(n)
-				gh := g2 * m.w2[h] * actGrad(z1[h], a1[h])
-				if adam {
-					update(gw2, &aw2[h], &m.w2[h], lr)
-				} else {
-					update(gw2, nil, &m.w2[h], lr)
-				}
-				for j, xj := range x[i] {
-					gw1 := gh*xj + alpha*m.w1[h][j]/float64(n)
-					if adam {
-						update(gw1, &aw1[h][j], &m.w1[h][j], lr)
-					} else {
-						update(gw1, nil, &m.w1[h][j], lr)
+				gw2 := g2*a1[h] + alpha*m.w2[h]/nf
+				var grad float64
+				switch actKind {
+				case actTanh:
+					grad = 1 - a1[h]*a1[h]
+				case actLogistic:
+					grad = a1[h] * (1 - a1[h])
+				default:
+					if z1[h] > 0 {
+						grad = 1
 					}
 				}
+				gh := g2 * m.w2[h] * grad
+				// Reslicing to len(xi) (== d, by validateFit) lets the
+				// compiler drop the bounds checks in the weight loops.
+				row := m.w1[h][:len(xi)]
 				if adam {
-					update(gh, &ab1[h], &m.b1[h], lr)
+					st2 := &aw2[h]
+					st2.m = beta1*st2.m + (1-beta1)*gw2
+					st2.v = beta2*st2.v + (1-beta2)*gw2*gw2
+					m.w2[h] -= lr * (st2.m * corr1) / (math.Sqrt(st2.v*corr2) + eps)
+					ast := aw1[h][:len(xi)]
+					for j, xj := range xi {
+						gw1 := gh*xj + alpha*row[j]/nf
+						st := &ast[j]
+						st.m = beta1*st.m + (1-beta1)*gw1
+						st.v = beta2*st.v + (1-beta2)*gw1*gw1
+						mhat := st.m * corr1
+						vhat := st.v * corr2
+						row[j] -= lr * mhat / (math.Sqrt(vhat) + eps)
+					}
+					stb := &ab1[h]
+					stb.m = beta1*stb.m + (1-beta1)*gh
+					stb.v = beta2*stb.v + (1-beta2)*gh*gh
+					m.b1[h] -= lr * (stb.m * corr1) / (math.Sqrt(stb.v*corr2) + eps)
 				} else {
-					update(gh, nil, &m.b1[h], lr)
+					m.w2[h] -= lr * gw2
+					for j, xj := range xi {
+						gw1 := gh*xj + alpha*row[j]/nf
+						row[j] -= lr * gw1
+					}
+					m.b1[h] -= lr * gh
 				}
 			}
 			if adam {
-				update(g2, &ab2, &m.b2, lr)
+				ab2.m = beta1*ab2.m + (1-beta1)*g2
+				ab2.v = beta2*ab2.v + (1-beta2)*g2*g2
+				m.b2 -= lr * (ab2.m * corr1) / (math.Sqrt(ab2.v*corr2) + eps)
 			} else {
-				update(g2, nil, &m.b2, lr)
+				m.b2 -= lr * g2
 			}
 		}
 	}

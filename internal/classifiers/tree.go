@@ -46,20 +46,158 @@ func (c treeConfig) featureCount(d int) int {
 	}
 }
 
+// featurePresort holds, for every feature, all row indices of a training
+// matrix sorted by that feature's value (ties by row index). It is computed
+// once per Fit and shared across an ensemble's trees / a boosting run's
+// rounds — each tree derives its root order from it in O(n) instead of
+// re-sorting, which dominated whole-sweep CPU time.
+type featurePresort struct {
+	orders [][]int
+}
+
+// presortFeatures argsorts every column of x.
+func presortFeatures(x [][]float64) *featurePresort {
+	n, d := len(x), len(x[0])
+	type keyed struct {
+		v float64
+		i int
+	}
+	buf := make([]keyed, n)
+	pre := &featurePresort{orders: make([][]int, d)}
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			buf[i] = keyed{v: x[i][j], i: i}
+		}
+		// The (value, index) key is a total order, so the unstable sort
+		// yields a deterministic, stable-equivalent result.
+		slices.SortFunc(buf, func(a, b keyed) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return a.i - b.i
+			}
+		})
+		ord := make([]int, n)
+		for k := range buf {
+			ord[k] = buf[k].i
+		}
+		pre.orders[j] = ord
+	}
+	return pre
+}
+
 // growTree builds a CART tree over the sample indices idx. target[i] is the
 // regression target (for classification pass the 0/1 label as float).
+// Ensemble callers should presort once and use growTreePresorted with a
+// shared treeMem.
 func growTree(x [][]float64, target []float64, idx []int, cfg treeConfig, r *rng.RNG, depth int) *treeNode {
-	node := &treeNode{feature: -1, value: meanAt(target, idx)}
+	return growTreePresorted(presortFeatures(x), &treeMem{}, x, target, idx, cfg, r, depth)
+}
+
+// treeMem is reusable growth storage. An ensemble Fit allocates one and
+// passes it to every growTreePresorted call, so per-tree buffers (the
+// derived orders, membership copies, partition staging) are allocated once
+// per Fit instead of once per tree. The tree returned by a call does not
+// reference the memory, so reuse across trees is safe.
+type treeMem struct {
+	counts    []int
+	ordersBuf []int
+	scratch   []int
+	own       []int
+	side      []byte
+}
+
+func (mem *treeMem) grab(n, d, m int) (counts, ordersBuf, scratch, own []int, side []byte) {
+	if cap(mem.counts) < n {
+		mem.counts = make([]int, n)
+	}
+	if cap(mem.ordersBuf) < d*m {
+		mem.ordersBuf = make([]int, d*m)
+	}
+	if cap(mem.scratch) < m {
+		mem.scratch = make([]int, m)
+	}
+	if cap(mem.own) < m {
+		mem.own = make([]int, m)
+	}
+	if cap(mem.side) < n {
+		mem.side = make([]byte, n)
+	}
+	return mem.counts[:n], mem.ordersBuf[:d*m], mem.scratch[:m], mem.own[:m], mem.side[:n]
+}
+
+// growTreePresorted grows one tree over the (multi)set idx, deriving each
+// feature's sorted view of idx from the whole-matrix presort. idx is not
+// modified.
+func growTreePresorted(pre *featurePresort, mem *treeMem, x [][]float64, target []float64, idx []int, cfg treeConfig, r *rng.RNG, depth int) *treeNode {
+	n, d, m := len(x), len(x[0]), len(idx)
+	counts, ordersBuf, scratch, own, side := mem.grab(n, d, m)
+	// Multiplicity of each row in idx (bootstrap samples repeat rows);
+	// expanding the presorted full order by count yields idx sorted by the
+	// feature, duplicates adjacent.
+	dup := false
+	for _, i := range idx {
+		counts[i]++
+		if counts[i] > 1 {
+			dup = true
+		}
+	}
+	identity := m == n && !dup // idx covers every row exactly once
+	orders := make([][]int, d)
+	for j := 0; j < d; j++ {
+		ord := ordersBuf[j*m : (j+1)*m]
+		if identity {
+			copy(ord, pre.orders[j])
+		} else {
+			k := 0
+			for _, i := range pre.orders[j] {
+				for c := counts[i]; c > 0; c-- {
+					ord[k] = i
+					k++
+				}
+			}
+		}
+		orders[j] = ord
+	}
+	for _, i := range idx {
+		counts[i] = 0 // leave counts zeroed for the next grab
+	}
+	copy(own, idx)
+	g := &grower{x: x, target: target, cfg: cfg, r: r, scratch: scratch, side: side}
+	return g.grow(own, orders, depth)
+}
+
+// grower carries the per-tree growth state. Node membership (idx and the
+// per-feature sorted orders) lives in slices that are stably partitioned in
+// place as the tree splits: children own disjoint subranges of the parent's
+// storage, so growth allocates nothing per node beyond the nodes themselves.
+type grower struct {
+	x       [][]float64
+	target  []float64
+	cfg     treeConfig
+	r       *rng.RNG
+	scratch []int  // right-side staging for the stable in-place partitions
+	side    []byte // per-row split side, computed once per split for all d partitions
+}
+
+// grow builds the subtree over idx; orders[j] holds the same members sorted
+// by feature j. Both are permuted in place by the split.
+func (g *grower) grow(idx []int, orders [][]int, depth int) *treeNode {
+	cfg := g.cfg
+	node := &treeNode{feature: -1, value: meanAt(g.target, idx)}
 	if len(idx) < 2*cfg.minLeaf || (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
 		return node
 	}
 	if cfg.nodeThreshold > 0 && len(idx) < cfg.nodeThreshold {
 		return node
 	}
-	if pureAt(target, idx) {
+	if pureAt(g.target, idx) {
 		return node
 	}
-	d := len(x[0])
+	d := len(g.x[0])
 	nFeat := cfg.featureCount(d)
 	var candidates []int
 	if nFeat >= d {
@@ -68,13 +206,22 @@ func growTree(x [][]float64, target []float64, idx []int, cfg treeConfig, r *rng
 			candidates[j] = j
 		}
 	} else {
-		candidates = r.Sample(d, nFeat)
+		candidates = g.r.Sample(d, nFeat)
+	}
+
+	// Node totals, accumulated in idx order (shared by every candidate
+	// feature — the totals are independent of the sort).
+	var sumAll, sqAll float64
+	for _, i := range idx {
+		t := g.target[i]
+		sumAll += t
+		sqAll += t * t
 	}
 
 	bestFeature, bestThreshold := -1, 0.0
 	bestScore := math.Inf(1)
 	for _, j := range candidates {
-		thr, score, ok := bestSplit(x, target, idx, j, cfg, r)
+		thr, score, ok := bestSplitSorted(g.x, g.target, orders[j], j, sumAll, sqAll, cfg, g.r)
 		if ok && score < bestScore {
 			bestScore, bestFeature, bestThreshold = score, j, thr
 		}
@@ -82,67 +229,124 @@ func growTree(x [][]float64, target []float64, idx []int, cfg treeConfig, r *rng
 	if bestFeature < 0 {
 		return node
 	}
-	var left, right []int
+	// Resolve each member's side of the split once; the d+1 partitions
+	// below then test a byte instead of re-reading the matrix.
 	for _, i := range idx {
-		if x[i][bestFeature] <= bestThreshold {
-			left = append(left, i)
+		if g.x[i][bestFeature] <= bestThreshold {
+			g.side[i] = 1
 		} else {
-			right = append(right, i)
+			g.side[i] = 0
 		}
 	}
-	if len(left) < cfg.minLeaf || len(right) < cfg.minLeaf {
+	nL := g.partition(idx)
+	if nL < cfg.minLeaf || len(idx)-nL < cfg.minLeaf {
 		return node
+	}
+	// Carry every feature's sorted order into the children — they may
+	// sample different candidate features.
+	leftOrders := make([][]int, d)
+	rightOrders := make([][]int, d)
+	for j := 0; j < d; j++ {
+		k := g.partition(orders[j])
+		leftOrders[j], rightOrders[j] = orders[j][:k], orders[j][k:]
 	}
 	node.feature = bestFeature
 	node.threshold = bestThreshold
-	node.left = growTree(x, target, left, cfg, r, depth+1)
-	node.right = growTree(x, target, right, cfg, r, depth+1)
+	node.left = g.grow(idx[:nL], leftOrders, depth+1)
+	node.right = g.grow(idx[nL:], rightOrders, depth+1)
 	return node
 }
 
-// splitPair is one (feature value, target) observation used during split
-// search.
-type splitPair struct {
-	v, t float64
+// partition stably reorders s in place so members on side 1 of the current
+// split (per g.side) come first, in their original relative order,
+// returning their count.
+func (g *grower) partition(s []int) int {
+	w, sc := 0, 0
+	for _, i := range s {
+		if g.side[i] == 1 {
+			s[w] = i
+			w++
+		} else {
+			g.scratch[sc] = i
+			sc++
+		}
+	}
+	copy(s[w:], g.scratch[:sc])
+	return w
 }
 
 // bestSplit finds the impurity-minimizing threshold for feature j over idx.
-// With randomSplits > 0 it samples random thresholds (extra-trees/Decision
-// Jungle style); otherwise it scans midpoints of the sorted unique values.
-// Both paths run in O(n log n): sort once, then maintain running left/right
-// sums while advancing the threshold.
+// Kept as the sort-then-scan entry point for standalone callers; tree
+// growth uses bestSplitSorted directly with presorted orders.
 func bestSplit(x [][]float64, target []float64, idx []int, j int, cfg treeConfig, r *rng.RNG) (threshold, score float64, ok bool) {
-	n := len(idx)
-	pairs := make([]splitPair, n)
-	var sumAll, sqAll float64
-	for k, i := range idx {
-		t := target[i]
-		pairs[k] = splitPair{v: x[i][j], t: t}
-		sumAll += t
-		sqAll += t * t
+	// Sorting (value, index) keys keeps the comparator on locals instead
+	// of chasing x rows per comparison; the key is a total order, so the
+	// unstable sort is deterministic.
+	type keyed struct {
+		v float64
+		i int
 	}
-	slices.SortFunc(pairs, func(a, b splitPair) int {
+	buf := make([]keyed, len(idx))
+	for k, i := range idx {
+		buf[k] = keyed{v: x[i][j], i: i}
+	}
+	slices.SortFunc(buf, func(a, b keyed) int {
 		switch {
 		case a.v < b.v:
 			return -1
 		case a.v > b.v:
 			return 1
 		default:
-			return 0
+			return a.i - b.i
 		}
 	})
-	if pairs[0].v >= pairs[n-1].v {
+	ord := make([]int, len(idx))
+	for k := range buf {
+		ord[k] = buf[k].i
+	}
+	var sumAll, sqAll float64
+	for _, i := range idx {
+		t := target[i]
+		sumAll += t
+		sqAll += t * t
+	}
+	return bestSplitSorted(x, target, ord, j, sumAll, sqAll, cfg, r)
+}
+
+// bestSplitSorted finds the impurity-minimizing threshold for feature j,
+// given the node's member indices presorted by that feature and the node's
+// target totals. With randomSplits > 0 it samples random thresholds
+// (extra-trees/Decision Jungle style); otherwise it scans midpoints of the
+// sorted unique values, maintaining running left/right sums — O(n) either
+// way.
+func bestSplitSorted(x [][]float64, target []float64, order []int, j int, sumAll, sqAll float64, cfg treeConfig, r *rng.RNG) (threshold, score float64, ok bool) {
+	n := len(order)
+	if n == 0 || x[order[0]][j] >= x[order[n-1]][j] {
 		return 0, 0, false
 	}
 
+	// Resolve the criterion string to an int once — the impurity closure
+	// runs per candidate boundary and the string switch was measurable.
+	const (
+		critGini = iota
+		critEntropy
+		critMSE
+	)
+	crit := critGini
+	switch cfg.criterion {
+	case "entropy":
+		crit = critEntropy
+	case "mse":
+		crit = critMSE
+	}
 	impurity := func(nL, sumL, sqL float64) float64 {
 		nR := float64(n) - nL
 		sumR := sumAll - sumL
 		sqR := sqAll - sqL
-		switch cfg.criterion {
-		case "entropy":
+		switch crit {
+		case critEntropy:
 			return nL*entropyOf(sumL/nL) + nR*entropyOf(sumR/nR)
-		case "mse":
+		case critMSE:
 			// Weighted variance = Σt² − (Σt)²/n per side.
 			return (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR)
 		default: // gini
@@ -153,7 +357,7 @@ func bestSplit(x [][]float64, target []float64, idx []int, j int, cfg treeConfig
 	best := math.Inf(1)
 	found := false
 	if cfg.randomSplits > 0 {
-		lo, hi := pairs[0].v, pairs[n-1].v
+		lo, hi := x[order[0]][j], x[order[n-1]][j]
 		thresholds := make([]float64, cfg.randomSplits)
 		for t := range thresholds {
 			thresholds[t] = r.Uniform(lo, hi)
@@ -162,10 +366,11 @@ func bestSplit(x [][]float64, target []float64, idx []int, j int, cfg treeConfig
 		var nL, sumL, sqL float64
 		pi := 0
 		for _, thr := range thresholds {
-			for pi < n && pairs[pi].v <= thr {
+			for pi < n && x[order[pi]][j] <= thr {
+				t := target[order[pi]]
 				nL++
-				sumL += pairs[pi].t
-				sqL += pairs[pi].t * pairs[pi].t
+				sumL += t
+				sqL += t * t
 				pi++
 			}
 			if nL == 0 || int(nL) == n {
@@ -179,19 +384,69 @@ func bestSplit(x [][]float64, target []float64, idx []int, j int, cfg treeConfig
 	}
 
 	// Exact scan: advance through sorted values, evaluating at each
-	// boundary between distinct values.
+	// boundary between distinct values. One loop per criterion so the
+	// impurity arithmetic inlines — this runs for every candidate feature
+	// of every node of every tree.
 	var nL, sumL, sqL float64
-	for k := 0; k < n-1; k++ {
-		nL++
-		sumL += pairs[k].t
-		sqL += pairs[k].t * pairs[k].t
-		if pairs[k+1].v == pairs[k].v {
-			continue
+	switch crit {
+	case critMSE:
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			t := target[i]
+			nL++
+			sumL += t
+			sqL += t * t
+			v, next := x[i][j], x[order[k+1]][j]
+			if next == v {
+				continue
+			}
+			nR := float64(n) - nL
+			sumR := sumAll - sumL
+			sqR := sqAll - sqL
+			// Weighted variance = Σt² − (Σt)²/n per side.
+			if s := (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR); s < best {
+				best = s
+				threshold = (v + next) / 2
+				found = true
+			}
 		}
-		if s := impurity(nL, sumL, sqL); s < best {
-			best = s
-			threshold = (pairs[k].v + pairs[k+1].v) / 2
-			found = true
+	case critEntropy:
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			t := target[i]
+			nL++
+			sumL += t
+			sqL += t * t
+			v, next := x[i][j], x[order[k+1]][j]
+			if next == v {
+				continue
+			}
+			nR := float64(n) - nL
+			sumR := sumAll - sumL
+			if s := nL*entropyOf(sumL/nL) + nR*entropyOf(sumR/nR); s < best {
+				best = s
+				threshold = (v + next) / 2
+				found = true
+			}
+		}
+	default: // gini
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			t := target[i]
+			nL++
+			sumL += t
+			sqL += t * t
+			v, next := x[i][j], x[order[k+1]][j]
+			if next == v {
+				continue
+			}
+			nR := float64(n) - nL
+			sumR := sumAll - sumL
+			if s := nL*giniOf(sumL/nL) + nR*giniOf(sumR/nR); s < best {
+				best = s
+				threshold = (v + next) / 2
+				found = true
+			}
 		}
 	}
 	return threshold, best, found

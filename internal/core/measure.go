@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"mlaasbench/internal/classifiers"
@@ -29,7 +32,15 @@ type Options struct {
 	// StorePredictions keeps each config's test-set predictions in the
 	// measurements — required by the §6.2 classifier-family inference.
 	StorePredictions bool
+	// Workers bounds the sweep's concurrency (0 = runtime.NumCPU(), 1 =
+	// serial). Any worker count produces byte-identical measurements: every
+	// configuration's RNG is derived by name from (seed, platform, dataset,
+	// config), so results do not depend on execution order, and the engine
+	// merges them back into corpus order.
+	Workers int
 	// Progress, if non-nil, receives one line per (platform, dataset).
+	// Calls are serialized, but with Workers > 1 their order follows unit
+	// completion, not corpus order.
 	Progress func(string)
 }
 
@@ -75,11 +86,23 @@ type Sweep struct {
 	Datasets []DatasetInfo
 	// ByPlatform[platform][dataset] lists every measurement taken.
 	ByPlatform map[string]map[string][]Measurement
+
+	// dsIndex maps dataset name → Datasets index, built lazily on the first
+	// Dataset call (analyses call it in loops; the linear scan was O(n) per
+	// lookup). Lazy construction keeps literal-constructed sweeps working.
+	dsIndexOnce sync.Once
+	dsIndex     map[string]int
 }
 
 // RunSweep generates the corpus, splits each dataset 70/30 (§3.1) and
 // measures every configuration of every requested platform on every
-// dataset. The context cancels the sweep between units of work.
+// dataset. Work fans out over a bounded pool of opts.Workers goroutines:
+// (platform, dataset) units run concurrently, and within a unit the config
+// list is measured in batches. Results merge back into corpus order, and
+// because each configuration's RNG is derived by name rather than by
+// position, a parallel sweep is byte-identical to a serial one (modulo the
+// wall-clock Micros field). The context cancels the sweep between
+// configurations.
 func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 	if opts.Profile.Name == "" {
 		opts.Profile = synth.Quick
@@ -87,17 +110,29 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 	if opts.Seed == 0 {
 		opts.Seed = synth.CorpusSeed
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	names := opts.Platforms
 	if len(names) == 0 {
 		names = platforms.Names()
 	}
 	plats := make([]platforms.Platform, 0, len(names))
+	plans := make([]unitPlan, 0, len(names))
 	for _, n := range names {
 		p, err := platforms.New(n)
 		if err != nil {
 			return nil, err
 		}
+		// The config list depends only on the platform surface, so it is
+		// enumerated once here rather than once per dataset.
+		plan, err := planUnit(p)
+		if err != nil {
+			return nil, err
+		}
 		plats = append(plats, p)
+		plans = append(plans, plan)
 	}
 
 	specs := synth.Corpus()
@@ -116,85 +151,210 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 	ctx, sweepSpan := telemetry.StartSpan(ctx, "sweep")
 	defer sweepSpan.End()
 	splitRNG := rng.New(opts.Seed).Split("splits")
-	for _, spec := range specs {
-		if err := ctx.Err(); err != nil {
+
+	// dsOut collects one dataset's results, indexed like specs/plans so the
+	// final merge reads them back in deterministic corpus order.
+	type dsOut struct {
+		info  DatasetInfo
+		units [][]Measurement // units[pi] aligns with plans[pi].configs
+	}
+	outs := make([]dsOut, len(specs))
+
+	pl := newPool(ctx, workers)
+	var progressMu sync.Mutex
+	progress := func(line string) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		opts.Progress(line)
+	}
+
+	var dsWG sync.WaitGroup
+	for di := range specs {
+		dsWG.Add(1)
+		go func(di int) {
+			defer dsWG.Done()
+			// Generate + split inside a slot: it is CPU-bound work.
+			if !pl.acquire() {
+				return
+			}
+			stopGen := telemetry.Time("corpus_gen")
+			ds := synth.GenerateClean(specs[di], opts.Profile, opts.Seed)
+			sp := ds.StratifiedSplit(0.7, splitRNG.Split(ds.Name))
+			stopGen()
+			pl.release()
+			outs[di].info = DatasetInfo{
+				Name:   ds.Name,
+				Domain: ds.Domain,
+				N:      ds.N(),
+				D:      ds.D(),
+				Linear: ds.Linear,
+				TestY:  sp.Test.Y,
+				Split:  sp,
+			}
+			outs[di].units = make([][]Measurement, len(plans))
+			// One FEAT cache per split, shared across all platforms
+			// measuring it: a FEAT option's transform depends only on the
+			// option and the split, never on the platform.
+			cache := pipeline.NewFeatCache()
+			var unitWG sync.WaitGroup
+			for pi := range plans {
+				unitWG.Add(1)
+				go func(pi int) {
+					defer unitWG.Done()
+					ms := runUnit(pl, plans[pi], sp, ds.Name, opts, cache)
+					if ms == nil {
+						return // failed or cancelled mid-unit; the pool holds the error
+					}
+					outs[di].units[pi] = ms
+					telemetry.Default().Counter("mlaas_sweep_measurements_total", "platform", plans[pi].platform.Name()).Add(int64(len(ms)))
+					progress(fmt.Sprintf("%-14s %-24s %d configs", plans[pi].platform.Name(), ds.Name, len(ms)))
+				}(pi)
+			}
+			unitWG.Wait()
+		}(di)
+	}
+	dsWG.Wait()
+	if err := pl.done(); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, fmt.Errorf("core: sweep cancelled: %w", err)
 		}
-		stopGen := telemetry.Time("corpus_gen")
-		ds := synth.GenerateClean(spec, opts.Profile, opts.Seed)
-		sp := ds.StratifiedSplit(0.7, splitRNG.Split(ds.Name))
-		stopGen()
-		sw.Datasets = append(sw.Datasets, DatasetInfo{
-			Name:   ds.Name,
-			Domain: ds.Domain,
-			N:      ds.N(),
-			D:      ds.D(),
-			Linear: ds.Linear,
-			TestY:  sp.Test.Y,
-			Split:  sp,
-		})
-		for _, p := range plats {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: sweep cancelled: %w", err)
-			}
-			ms, err := measurePlatform(p, sp, ds.Name, opts)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s on %s: %w", p.Name(), ds.Name, err)
-			}
-			telemetry.Default().Counter("mlaas_sweep_measurements_total", "platform", p.Name()).Add(int64(len(ms)))
-			sw.ByPlatform[p.Name()][ds.Name] = ms
-			if opts.Progress != nil {
-				opts.Progress(fmt.Sprintf("%-14s %-24s %d configs", p.Name(), ds.Name, len(ms)))
-			}
+		return nil, err
+	}
+
+	for di := range outs {
+		sw.Datasets = append(sw.Datasets, outs[di].info)
+		for pi, p := range plats {
+			sw.ByPlatform[p.Name()][outs[di].info.Name] = outs[di].units[pi]
 		}
 	}
 	return sw, nil
 }
 
-// measurePlatform runs every configuration of one platform on one split.
-func measurePlatform(p platforms.Platform, sp dataset.Split, dsName string, opts Options) ([]Measurement, error) {
-	// Black boxes: a single automatic measurement, which is its own
-	// baseline and optimum.
-	if p.BaselineClassifier() == "" {
-		start := time.Now()
-		res, err := p.Run(pipeline.Config{}, sp.Train, sp.Test, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		m := Measurement{
-			Platform: p.Name(), Dataset: dsName, Config: res.Config,
-			Scores: res.Scores, Baseline: true, Micros: time.Since(start).Microseconds(),
-		}
-		if opts.StorePredictions {
-			m.Pred = packPred(res.Pred)
-		}
-		return []Measurement{m}, nil
-	}
+// unitPlan is the per-platform half of a (platform, dataset) measurement
+// unit: the platform plus its enumerated config list, computed once per
+// sweep. Black boxes take a single automatic measurement, expressed as one
+// zero config.
+type unitPlan struct {
+	platform platforms.Platform
+	blackBox bool
+	configs  []pipeline.Config
+	baseKey  string // Config.String() of the zero-control baseline
+}
 
+func planUnit(p platforms.Platform) (unitPlan, error) {
+	if p.BaselineClassifier() == "" {
+		return unitPlan{platform: p, blackBox: true, configs: []pipeline.Config{{}}}, nil
+	}
 	baseCfg, err := p.Surface().DefaultConfig(p.BaselineClassifier())
+	if err != nil {
+		return unitPlan{}, err
+	}
+	return unitPlan{
+		platform: p,
+		configs:  pipeline.Enumerate(p.Surface()),
+		baseKey:  baseCfg.String(),
+	}, nil
+}
+
+// runUnit measures every config of one plan on one split, fanning config
+// batches across the pool. The returned slice aligns with plan.configs. A
+// nil return means the unit failed or was cancelled; failures are recorded
+// on the pool with platform/dataset context attached.
+func runUnit(pl *pool, plan unitPlan, sp dataset.Split, dsName string, opts Options, cache *pipeline.FeatCache) []Measurement {
+	out := make([]Measurement, len(plan.configs))
+	unitStart := time.Now()
+	// Batch size targets ~4 batches per worker per unit for load balance
+	// without drowning the pool in tiny tasks.
+	chunk := (len(plan.configs) + 4*cap(pl.slots) - 1) / (4 * cap(pl.slots))
+	if chunk < 1 {
+		chunk = 1
+	}
+	var batchWG sync.WaitGroup
+	for lo := 0; lo < len(plan.configs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(plan.configs) {
+			hi = len(plan.configs)
+		}
+		batchWG.Add(1)
+		go func(lo, hi int) {
+			defer batchWG.Done()
+			if !pl.acquire() {
+				return
+			}
+			defer pl.release()
+			for i := lo; i < hi; i++ {
+				if pl.ctx.Err() != nil {
+					return
+				}
+				m, err := measureOne(plan, plan.configs[i], sp, dsName, opts, cache)
+				if err != nil {
+					pl.fail(fmt.Errorf("core: %s on %s: %w", plan.platform.Name(), dsName, err))
+					return
+				}
+				out[i] = m
+			}
+		}(lo, hi)
+	}
+	batchWG.Wait()
+	telemetry.Default().Histogram(telemetry.SweepUnitHistogram, "platform", plan.platform.Name()).
+		Observe(time.Since(unitStart).Seconds())
+	if pl.ctx.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// measureOne runs a single configuration of a plan on one split. Platforms
+// implementing CachedRunner share fitted FEAT transforms via the cache;
+// black boxes always take the plain Run path (their hidden probe fits on
+// internal re-splits the cache cannot represent).
+func measureOne(plan unitPlan, cfg pipeline.Config, sp dataset.Split, dsName string, opts Options, cache *pipeline.FeatCache) (Measurement, error) {
+	p := plan.platform
+	start := time.Now()
+	var (
+		res pipeline.Result
+		err error
+	)
+	if cr, ok := p.(platforms.CachedRunner); ok && cache != nil && !plan.blackBox {
+		res, err = cr.RunCached(cfg, sp.Train, sp.Test, opts.Seed, cache)
+	} else {
+		res, err = p.Run(cfg, sp.Train, sp.Test, opts.Seed)
+	}
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{
+		Platform: p.Name(),
+		Dataset:  dsName,
+		Config:   res.Config,
+		Scores:   res.Scores,
+		Baseline: plan.blackBox || cfg.String() == plan.baseKey,
+		Micros:   time.Since(start).Microseconds(),
+	}
+	if opts.StorePredictions {
+		m.Pred = packPred(res.Pred)
+	}
+	return m, nil
+}
+
+// measurePlatform runs every configuration of one platform on one split,
+// serially. Analyses that re-measure outside a sweep use it directly.
+func measurePlatform(p platforms.Platform, sp dataset.Split, dsName string, opts Options) ([]Measurement, error) {
+	plan, err := planUnit(p)
 	if err != nil {
 		return nil, err
 	}
-	baseKey := baseCfg.String()
-	var out []Measurement
-	for _, cfg := range pipeline.Enumerate(p.Surface()) {
-		start := time.Now()
-		res, err := p.Run(cfg, sp.Train, sp.Test, opts.Seed)
+	cache := pipeline.NewFeatCache()
+	out := make([]Measurement, len(plan.configs))
+	for i, cfg := range plan.configs {
+		m, err := measureOne(plan, cfg, sp, dsName, opts, cache)
 		if err != nil {
 			return nil, err
 		}
-		m := Measurement{
-			Platform: p.Name(),
-			Dataset:  dsName,
-			Config:   cfg,
-			Scores:   res.Scores,
-			Baseline: cfg.String() == baseKey,
-			Micros:   time.Since(start).Microseconds(),
-		}
-		if opts.StorePredictions {
-			m.Pred = packPred(res.Pred)
-		}
-		out = append(out, m)
+		out[i] = m
 	}
 	return out, nil
 }
@@ -228,14 +388,20 @@ func (s *Sweep) DatasetNames() []string {
 	return out
 }
 
-// Dataset returns the DatasetInfo by name.
+// Dataset returns the DatasetInfo by name. The first call indexes the
+// dataset list; Datasets must not be appended to afterwards.
 func (s *Sweep) Dataset(name string) (DatasetInfo, bool) {
-	for _, d := range s.Datasets {
-		if d.Name == name {
-			return d, true
+	s.dsIndexOnce.Do(func() {
+		s.dsIndex = make(map[string]int, len(s.Datasets))
+		for i, d := range s.Datasets {
+			s.dsIndex[d.Name] = i
 		}
+	})
+	i, ok := s.dsIndex[name]
+	if !ok {
+		return DatasetInfo{}, false
 	}
-	return DatasetInfo{}, false
+	return s.Datasets[i], true
 }
 
 // Baseline returns the baseline measurement of a platform on a dataset.

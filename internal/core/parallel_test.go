@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// The parallel engine's contract: any worker count produces byte-identical
+// measurements. Micros is wall-clock and excluded — it differs between any
+// two runs, serial or not.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxDatasets = 2
+	// One platform per engine path: a black box (hidden probe), Amazon
+	// (hidden binning memo) and Microsoft (FEAT cache, biggest config list).
+	opts.Platforms = []string{"google", "amazon", "microsoft"}
+
+	opts.Workers = 1
+	serial, err := RunSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	parallel, err := RunSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := datasetNames(parallel), datasetNames(serial); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dataset order differs: %v vs %v", got, want)
+	}
+	for _, p := range serial.Platforms() {
+		for _, ds := range serial.DatasetNames() {
+			sm := normalizeMeasurements(serial.ByPlatform[p][ds])
+			pm := normalizeMeasurements(parallel.ByPlatform[p][ds])
+			if len(sm) != len(pm) {
+				t.Fatalf("%s/%s: %d vs %d measurements", p, ds, len(sm), len(pm))
+			}
+			for i := range sm {
+				if !reflect.DeepEqual(sm[i], pm[i]) {
+					t.Fatalf("%s/%s[%d]: serial %+v != parallel %+v", p, ds, i, sm[i], pm[i])
+				}
+			}
+		}
+	}
+}
+
+func datasetNames(s *Sweep) []string { return s.DatasetNames() }
+
+// normalizeMeasurements zeroes the wall-clock field so comparisons see only
+// deterministic content.
+func normalizeMeasurements(ms []Measurement) []Measurement {
+	out := make([]Measurement, len(ms))
+	for i, m := range ms {
+		m.Micros = 0
+		out[i] = m
+	}
+	return out
+}
+
+// A worker count far above the work volume must not deadlock or misbehave.
+func TestParallelSweepMoreWorkersThanWork(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxDatasets = 1
+	opts.Platforms = []string{"google", "amazon"}
+	opts.Workers = 64
+	sw, err := RunSweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Datasets) != 1 || len(sw.Platforms()) != 2 {
+		t.Fatalf("unexpected sweep shape: %d datasets, %v", len(sw.Datasets), sw.Platforms())
+	}
+}
+
+// Cancellation must abort a parallel sweep promptly and report it.
+func TestParallelSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.MaxDatasets = 2
+	opts.Workers = 4
+	if _, err := RunSweep(ctx, opts); err == nil {
+		t.Fatal("cancelled parallel sweep should fail")
+	}
+}
+
+func TestSweepDatasetLookup(t *testing.T) {
+	sw := testSweep(t)
+	for _, want := range sw.Datasets {
+		got, ok := sw.Dataset(want.Name)
+		if !ok || got.Name != want.Name {
+			t.Fatalf("Dataset(%q) = %+v, %v", want.Name, got, ok)
+		}
+	}
+	if _, ok := sw.Dataset("no-such-dataset"); ok {
+		t.Fatal("lookup of unknown dataset succeeded")
+	}
+}

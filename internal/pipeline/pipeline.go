@@ -100,7 +100,23 @@ type Result struct {
 // data, transform both sides, train the classifier, predict the test set
 // and score. The RNG governs all stochastic training steps.
 func Run(cfg Config, train, test *dataset.Dataset, r *rng.RNG) (Result, error) {
-	xTr, xTe, err := applyFeat(cfg.Feat, train, test)
+	return RunWithCache(cfg, train, test, r, nil)
+}
+
+// RunWithCache is Run with an optional per-split FeatCache: when cache is
+// non-nil the FEAT transform is fitted at most once per option and the
+// transformed matrices are shared read-only across configs. A nil cache
+// fits per call, exactly like Run.
+func RunWithCache(cfg Config, train, test *dataset.Dataset, r *rng.RNG, cache *FeatCache) (Result, error) {
+	var (
+		xTr, xTe [][]float64
+		err      error
+	)
+	if cache != nil {
+		xTr, xTe, err = cache.Transform(cfg.Feat, train, test)
+	} else {
+		xTr, xTe, err = applyFeat(cfg.Feat, train, test)
+	}
 	if err != nil {
 		return Result{}, err
 	}

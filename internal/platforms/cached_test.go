@@ -1,0 +1,76 @@
+package platforms
+
+import (
+	"reflect"
+	"testing"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+)
+
+func cachedTestSplit(t *testing.T) dataset.Split {
+	t.Helper()
+	r := rng.New(21)
+	n, d := 90, 5
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		if row[0]-row[2] > 0 {
+			y[i] = 1
+		}
+		x[i] = row
+	}
+	ds := &dataset.Dataset{Name: "cached-test", X: x, Y: y}
+	return ds.StratifiedSplit(0.7, rng.New(22))
+}
+
+// RunCached must be observationally identical to Run on every platform that
+// implements it — the cache removes redundant fitting, nothing else. Amazon
+// matters most here: its override must preserve the hidden binning.
+func TestRunCachedMatchesRun(t *testing.T) {
+	sp := cachedTestSplit(t)
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, ok := p.(CachedRunner)
+		if !ok {
+			if p.BaselineClassifier() != "" {
+				t.Errorf("%s: user-surface platform should implement CachedRunner", name)
+			}
+			continue
+		}
+		cache := pipeline.NewFeatCache()
+		configs := pipeline.Enumerate(p.Surface())
+		if len(configs) > 12 {
+			configs = configs[:12]
+		}
+		for _, cfg := range configs {
+			want, err := p.Run(cfg, sp.Train, sp.Test, 5)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			got, err := cr.RunCached(cfg, sp.Train, sp.Test, 5, cache)
+			if err != nil {
+				t.Fatalf("%s %s cached: %v", name, cfg, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s %s: cached result differs from Run", name, cfg)
+			}
+			// Second pass hits the cache.
+			again, err := cr.RunCached(cfg, sp.Train, sp.Test, 5, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, again) {
+				t.Fatalf("%s %s: cache hit differs from Run", name, cfg)
+			}
+		}
+	}
+}

@@ -49,6 +49,15 @@ type Platform interface {
 	PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error)
 }
 
+// CachedRunner is the optional fast path the sweep engine uses: platforms
+// that implement it can share fitted FEAT transforms (and hidden per-split
+// preprocessing) across the many configurations measured on one split. The
+// result must be identical to Run with the same arguments; the cache only
+// removes redundant fitting, never changes what is fitted.
+type CachedRunner interface {
+	RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error)
+}
+
 // Names lists the platforms in complexity order (Figure 4's x-axis).
 func Names() []string {
 	return []string{"google", "abm", "amazon", "bigml", "predictionio", "microsoft", "local"}
@@ -117,6 +126,15 @@ func (u *userPlatform) Run(cfg pipeline.Config, train, test *dataset.Dataset, se
 		return pipeline.Result{}, err
 	}
 	return pipeline.Run(cfg, train, test, runRNG(u.name, train.Name, seed))
+}
+
+// RunCached implements CachedRunner: identical to Run, with FEAT transforms
+// fitted at most once per (split, option) via the cache.
+func (u *userPlatform) RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
+	if err := u.validate(cfg); err != nil {
+		return pipeline.Result{}, err
+	}
+	return pipeline.RunWithCache(cfg, train, test, runRNG(u.name, train.Name, seed), cache)
 }
 
 func (u *userPlatform) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error) {

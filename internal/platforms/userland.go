@@ -43,6 +43,33 @@ func (a *Amazon) Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uin
 	return pipeline.Run(cfg, bTrain, bTest, runRNG(a.name, train.Name, seed))
 }
 
+// RunCached implements CachedRunner. Amazon has no FEAT dimension, so the
+// cache's transform path is idle here; what dominates its per-config cost is
+// re-fitting the hidden binner and re-binning both matrices, which depend
+// only on the split. Both are memoized in the cache instead. (The override
+// matters for correctness too: the embedded userPlatform.RunCached would
+// skip the hidden binning entirely.)
+func (a *Amazon) RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
+	if err := a.validate(cfg); err != nil {
+		return pipeline.Result{}, err
+	}
+	if cache == nil {
+		return a.Run(cfg, train, test, seed)
+	}
+	v, err := cache.Memo("amazon/binned", func() (any, error) {
+		q := a.binner(train)
+		bTrain, bTest := train.Clone(), test.Clone()
+		bTrain.X = q.Transform(train.X)
+		bTest.X = q.Transform(test.X)
+		return [2]*dataset.Dataset{bTrain, bTest}, nil
+	})
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	binned := v.([2]*dataset.Dataset)
+	return pipeline.Run(cfg, binned[0], binned[1], runRNG(a.name, train.Name, seed))
+}
+
 // PredictPoints implements Platform.
 func (a *Amazon) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error) {
 	if err := a.validate(cfg); err != nil {

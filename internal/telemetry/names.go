@@ -1,0 +1,28 @@
+package telemetry
+
+// Shared metric names for the sweep engine. The producers live in
+// internal/core (scheduler) and internal/pipeline (FeatCache); naming them
+// here keeps the exposition surface documented in one place and lets the
+// summary describe them without importing the producers.
+const (
+	// SweepWorkersGauge tracks how many sweep pool workers are executing a
+	// unit of work (dataset generation or a config batch) right now.
+	SweepWorkersGauge = "mlaas_sweep_inflight_workers"
+
+	// SweepUnitHistogram records the wall-clock duration of one
+	// (platform, dataset) measurement unit, labeled by platform.
+	SweepUnitHistogram = "mlaas_sweep_unit_duration_seconds"
+
+	// FeatCacheHits / FeatCacheMisses count FEAT-transform cache lookups,
+	// labeled by FEAT kind ("scaler", "filter", "fisherlda"). A miss fits
+	// the transform; a hit reuses previously fitted matrices.
+	FeatCacheHits   = "mlaas_featcache_hits_total"
+	FeatCacheMisses = "mlaas_featcache_misses_total"
+)
+
+func init() {
+	Default().Describe(SweepWorkersGauge, "Sweep pool workers currently executing a unit of work.")
+	Default().Describe(SweepUnitHistogram, "Duration of one (platform, dataset) measurement unit in seconds.")
+	Default().Describe(FeatCacheHits, "FEAT transform cache hits (transform reused).")
+	Default().Describe(FeatCacheMisses, "FEAT transform cache misses (transform fitted).")
+}
