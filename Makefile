@@ -1,6 +1,7 @@
-# Standard pre-merge gate: `make check` runs vet, the full test suite, and
-# the race detector over the concurrency-bearing packages (telemetry,
-# service, client, and the parallel sweep engine in core/pipeline/platforms).
+# Standard pre-merge gate: `make check` runs vet, the full test suite, the
+# race detector over the concurrency-bearing packages (telemetry, service,
+# client, and the parallel sweep engine in core/pipeline/platforms), and a
+# short loadgen smoke that exercises the serving path end-to-end.
 # CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
@@ -8,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
 	./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench bench-quick
+.PHONY: all build vet test race check bench bench-quick loadgen-smoke
 
 all: check
 
@@ -28,7 +29,13 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race
+check: vet test race loadgen-smoke
+
+# A ~2s end-to-end run of the closed-loop load generator against in-process
+# servers: proves upload/train/predict and the refit-vs-forward comparison
+# still work before merging. Full benchmark instructions: EXPERIMENTS.md.
+loadgen-smoke:
+	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s
 
 # The serial-vs-parallel sweep-engine pair (BenchmarkSweepSerial /
 # BenchmarkSweepParallel4); results are committed as BENCH_*.json.

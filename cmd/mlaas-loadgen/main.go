@@ -1,0 +1,261 @@
+// Command mlaas-loadgen drives the predictions endpoint with closed-loop
+// concurrent clients and reports latency quantiles and throughput.
+//
+// Usage:
+//
+//	mlaas-loadgen [-clients 4] [-batch 64] [-duration 3s] [-platform local]
+//	              [-classifier mlp] [-feat scaler:standard] [-seed 1]
+//	              [-cache 128] [-url http://host:8080] [-out BENCH.json]
+//
+// With -url empty (the default) the generator runs fully in-process: it
+// starts two httptest servers — one with the model cache disabled (the
+// pre-fit-once retrain-per-request behaviour) and one with the fit-once
+// cache — runs the identical workload against both, and reports the
+// speedup. This is how BENCH_PR3.json is produced; see EXPERIMENTS.md.
+//
+// With -url set it runs a single pass against the live server (whose
+// cache policy is whatever the server was started with).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
+)
+
+// PassReport summarises one closed-loop pass.
+type PassReport struct {
+	Name        string  `json:"name"` // "refit", "forward", or "remote"
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"duration_sec"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	InstPerSec  float64 `json:"instances_per_sec"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// Report is the JSON artifact (e.g. BENCH_PR3.json).
+type Report struct {
+	Platform   string       `json:"platform"`
+	Classifier string       `json:"classifier"`
+	Config     string       `json:"config"`
+	DatasetN   int          `json:"dataset_n"`
+	DatasetD   int          `json:"dataset_d"`
+	Clients    int          `json:"clients"`
+	Batch      int          `json:"batch"`
+	CacheSize  int          `json:"cache_models"`
+	Seed       uint64       `json:"seed"`
+	Passes     []PassReport `json:"passes"`
+	// SpeedupRPS is forward req/s over refit req/s (0 for remote runs).
+	SpeedupRPS float64 `json:"speedup_rps,omitempty"`
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "", "target server; empty runs in-process refit-vs-forward comparison")
+		platform   = flag.String("platform", "local", "platform name")
+		classifier = flag.String("classifier", "mlp", "classifier name")
+		feat       = flag.String("feat", "", `FEAT option as kind[:name], e.g. "scaler:standard"; empty for none`)
+		clients    = flag.Int("clients", 4, "concurrent closed-loop clients")
+		batch      = flag.Int("batch", 64, "instances per predict request")
+		duration   = flag.Duration("duration", 3*time.Second, "measured duration per pass")
+		seed       = flag.Uint64("seed", 1, "training seed")
+		cache      = flag.Int("cache", service.DefaultModelCacheModels, "model-cache size for the forward pass (in-process mode)")
+		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
+	)
+	flag.Parse()
+
+	cfg := pipeline.Config{
+		Feat:       parseFeat(*feat),
+		Classifier: *classifier,
+		Params:     map[string]any{},
+	}
+	// A mid-size separable problem: big enough that predicts carry real
+	// batches, small enough that the refit pass completes requests.
+	ds := synth.GenerateClean(synth.Spec{
+		Name: "loadgen", Gen: synth.GenLinear, N: 200, D: 6, Noise: 0.2,
+	}, synth.Quick, *seed)
+	sp := ds.StratifiedSplit(0.7, rng.New(7))
+
+	rep := Report{
+		Platform:   *platform,
+		Classifier: *classifier,
+		Config:     cfg.String(),
+		DatasetN:   ds.N(),
+		DatasetD:   ds.D(),
+		Clients:    *clients,
+		Batch:      *batch,
+		CacheSize:  *cache,
+		Seed:       *seed,
+	}
+
+	if *url != "" {
+		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		rep.Passes = append(rep.Passes, pass)
+	} else {
+		// Two in-process passes over identical workloads. "refit" is the
+		// pre-fit-once serving path (cache disabled, every predict
+		// retrains); "forward" serves the resident fitted model.
+		for _, arm := range []struct {
+			name  string
+			cache int
+		}{{"refit", 0}, {"forward", *cache}} {
+			srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).
+				WithRegistry(telemetry.NewRegistry()).
+				WithModelCache(arm.cache).
+				Handler())
+			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration)
+			srv.Close()
+			if err != nil {
+				log.Fatalf("loadgen: %s pass: %v", arm.name, err)
+			}
+			rep.Passes = append(rep.Passes, pass)
+		}
+		if rep.Passes[0].ReqPerSec > 0 {
+			rep.SpeedupRPS = rep.Passes[1].ReqPerSec / rep.Passes[0].ReqPerSec
+		}
+	}
+
+	printSummary(rep)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: encode report: %v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *out, err)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+}
+
+// runPass uploads + trains once, then runs closed-loop predict clients
+// against the model until the deadline.
+func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch int, d time.Duration) (PassReport, error) {
+	ctx := context.Background()
+	c := client.New(url)
+	dsID, err := c.Upload(ctx, platform, sp.Train)
+	if err != nil {
+		return PassReport{}, fmt.Errorf("upload: %w", err)
+	}
+	modelID, err := c.Train(ctx, platform, dsID, cfg, seed)
+	if err != nil {
+		return PassReport{}, fmt.Errorf("train: %w", err)
+	}
+	// One warm-up predict per pass keeps connection setup and (for the
+	// forward arm) the initial fit out of the measured window.
+	instances := sp.Test.X
+	if len(instances) > batch {
+		instances = instances[:batch]
+	}
+	if _, err := c.Predict(ctx, platform, modelID, instances); err != nil {
+		return PassReport{}, fmt.Errorf("warm-up predict: %w", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms
+		errs      int
+	)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(url)
+			var local []float64
+			localErrs := 0
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				_, err := cl.Predict(ctx, platform, modelID, instances)
+				if err != nil {
+					localErrs++
+					continue
+				}
+				local = append(local, float64(time.Since(t0).Microseconds())/1000)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += localErrs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	n := len(latencies)
+	if n == 0 {
+		return PassReport{}, fmt.Errorf("no successful requests in %s (errors: %d)", d, errs)
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, v := range latencies {
+		sum += v
+	}
+	return PassReport{
+		Name:        name,
+		Requests:    n,
+		Errors:      errs,
+		DurationSec: elapsed,
+		ReqPerSec:   float64(n) / elapsed,
+		InstPerSec:  float64(n*len(instances)) / elapsed,
+		MeanMs:      sum / float64(n),
+		P50Ms:       quantile(latencies, 0.50),
+		P95Ms:       quantile(latencies, 0.95),
+		P99Ms:       quantile(latencies, 0.99),
+	}, nil
+}
+
+// quantile reads the q-th quantile from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// parseFeat turns "kind" or "kind:name" into a pipeline.Feat.
+func parseFeat(s string) pipeline.Feat {
+	if s == "" || s == "none" {
+		return pipeline.Feat{Kind: "none"}
+	}
+	kind, name, _ := strings.Cut(s, ":")
+	return pipeline.Feat{Kind: kind, Name: name}
+}
+
+func printSummary(rep Report) {
+	fmt.Printf("workload: %s %s on %dx%d points, %d clients, batch %d\n",
+		rep.Platform, rep.Config, rep.DatasetN, rep.DatasetD, rep.Clients, rep.Batch)
+	for _, p := range rep.Passes {
+		fmt.Printf("  %-8s %6d reqs (%d errs) in %5.2fs  %8.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+			p.Name, p.Requests, p.Errors, p.DurationSec, p.ReqPerSec, p.P50Ms, p.P95Ms, p.P99Ms)
+	}
+	if rep.SpeedupRPS > 0 {
+		fmt.Printf("  forward vs refit speedup: %.1fx req/s\n", rep.SpeedupRPS)
+	}
+}

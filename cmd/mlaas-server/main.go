@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060]
+//	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
 //
 // The API mirrors the 2016-era services the paper measured:
 //
@@ -41,6 +41,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this private address (e.g. 127.0.0.1:6060); empty disables")
+	modelCache := flag.Int("model-cache", service.DefaultModelCacheModels,
+		"max fitted models kept resident (LRU); 0 disables the cache and refits per predict")
 	flag.Parse()
 
 	logf := log.Printf
@@ -49,7 +51,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(logf).Handler(),
+		Handler:           service.NewServer(logf).WithModelCache(*modelCache).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

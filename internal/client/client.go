@@ -36,6 +36,13 @@ import (
 // doubling grows unbounded (attempt 20 would sleep ~29 hours).
 const DefaultMaxBackoff = 5 * time.Second
 
+// DefaultPredictBatch caps instances per predictions request when the
+// caller does not choose a chunk size. Unbounded batches put the whole
+// query set in one JSON body — the real services all rejected that with
+// payload limits, and server-side decode buffers stop pooling once bodies
+// outgrow them.
+const DefaultPredictBatch = 512
+
 // Client talks to one MLaaS service endpoint.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
@@ -53,6 +60,10 @@ type Client struct {
 	// Seed roots the backoff jitter stream: the same seed yields the same
 	// sleep sequence, keeping sweeps reproducible end to end.
 	Seed uint64
+	// PredictBatch caps instances per predictions request in Measure and
+	// MeasureOn (0 means DefaultPredictBatch). Large query sets are split
+	// into chunks and the labels stitched back in instance order.
+	PredictBatch int
 	// Limiter, when non-nil, gates every request (rate limiting against
 	// quota-limited services).
 	Limiter *RateLimiter
@@ -335,6 +346,33 @@ func (c *Client) Predict(ctx context.Context, platform, modelID string, instance
 	return out.Labels, nil
 }
 
+// PredictBatched queries a model in chunks of at most batch instances
+// (batch <= 0 means DefaultPredictBatch) and stitches the labels back in
+// instance order. Each chunk is its own logical request with the client's
+// full retry/rate-limit discipline, so one flaky chunk does not resend the
+// whole query set.
+func (c *Client) PredictBatched(ctx context.Context, platform, modelID string, instances [][]float64, batch int) ([]int, error) {
+	if batch <= 0 {
+		batch = DefaultPredictBatch
+	}
+	if len(instances) <= batch {
+		return c.Predict(ctx, platform, modelID, instances)
+	}
+	labels := make([]int, 0, len(instances))
+	for start := 0; start < len(instances); start += batch {
+		end := start + batch
+		if end > len(instances) {
+			end = len(instances)
+		}
+		part, err := c.Predict(ctx, platform, modelID, instances[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("client: predict batch [%d:%d): %w", start, end, err)
+		}
+		labels = append(labels, part...)
+	}
+	return labels, nil
+}
+
 // Measure runs the paper's per-configuration measurement end-to-end over
 // the wire: upload the training split, train with the config, query the
 // held-out test set and score locally (the service never sees test labels,
@@ -362,7 +400,7 @@ func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, spli
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: train: %w", err)
 	}
-	labels, err := c.Predict(ctx, platform, modelID, split.Test.X)
+	labels, err := c.PredictBatched(ctx, platform, modelID, split.Test.X, c.PredictBatch)
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: predict: %w", err)
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -262,5 +263,90 @@ func TestIsRetryable(t *testing.T) {
 	}
 	if IsRetryable(nil) {
 		t.Fatal("nil error is not retryable")
+	}
+}
+
+func TestPredictBatchedStitchesChunksInOrder(t *testing.T) {
+	var predictCalls atomic.Int32
+	srv := fakeService(t)
+	// Wrap the fake to count prediction requests.
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/predictions") {
+			predictCalls.Add(1)
+		}
+		proxyTo(t, w, r, srv.URL)
+	}))
+	t.Cleanup(counting.Close)
+
+	c := New(counting.URL)
+	instances := make([][]float64, 25)
+	for i := range instances {
+		// Alternate sign so the fake's label (sign of instance[0]) encodes
+		// the instance's position — any mis-stitching scrambles it.
+		v := float64(i + 1)
+		if i%2 == 1 {
+			v = -v
+		}
+		instances[i] = []float64{v}
+	}
+	want, err := c.Predict(context.Background(), "fake", "m-1", instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PredictBatched(context.Background(), "fake", "m-1", instances, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d labels, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("label %d is %d, want %d (stitching out of order)", i, got[i], want[i])
+		}
+	}
+	// 1 unbatched call + ceil(25/4)=7 chunked calls.
+	if n := predictCalls.Load(); n != 8 {
+		t.Fatalf("%d prediction requests, want 8 (1 full + 7 chunks of 4)", n)
+	}
+}
+
+func TestPredictBatchedSmallSetSingleRequest(t *testing.T) {
+	var predictCalls atomic.Int32
+	srv := fakeService(t)
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/predictions") {
+			predictCalls.Add(1)
+		}
+		proxyTo(t, w, r, srv.URL)
+	}))
+	t.Cleanup(counting.Close)
+
+	c := New(counting.URL)
+	instances := [][]float64{{1}, {-1}, {2}}
+	if _, err := c.PredictBatched(context.Background(), "fake", "m-1", instances, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := predictCalls.Load(); n != 1 {
+		t.Fatalf("%d requests for a set under the default batch, want 1", n)
+	}
+}
+
+// proxyTo forwards one request to the backing fake service.
+func proxyTo(t *testing.T, w http.ResponseWriter, r *http.Request, backend string) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.Path, r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header = r.Header
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -20,9 +20,20 @@ func CrossValidate(cfg Config, ds *dataset.Dataset, k int, r *rng.RNG) ([]metric
 		return nil, fmt.Errorf("pipeline: %d samples cannot fill %d folds", ds.N(), k)
 	}
 	folds := stratifiedFolds(ds, k, r)
+	// The index buffers are sized once from the fold sizes and reused across
+	// folds (Subset copies what it needs): growing them with append from nil
+	// every fold is O(k²) allocation churn over the k iterations.
+	maxFold := 0
+	for _, fold := range folds {
+		if len(fold) > maxFold {
+			maxFold = len(fold)
+		}
+	}
+	trainIdx := make([]int, 0, ds.N())
+	testIdx := make([]int, 0, maxFold)
 	out := make([]metrics.Scores, 0, k)
 	for fi := 0; fi < k; fi++ {
-		var trainIdx, testIdx []int
+		trainIdx, testIdx = trainIdx[:0], testIdx[:0]
 		for fj, fold := range folds {
 			if fj == fi {
 				testIdx = append(testIdx, fold...)

@@ -16,9 +16,7 @@ import (
 
 	"mlaasbench/internal/classifiers"
 	"mlaasbench/internal/dataset"
-	"mlaasbench/internal/featsel"
 	"mlaasbench/internal/metrics"
-	"mlaasbench/internal/preprocess"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/telemetry"
 )
@@ -168,46 +166,15 @@ func PredictPoints(cfg Config, train *dataset.Dataset, points [][]float64, r *rn
 }
 
 // applyFeat fits the FEAT option on the training set and transforms both
-// feature matrices. Scaling records under the "preprocess" stage, filter
-// methods and Fisher-LDA under "featsel"; the no-op option records nothing.
+// feature matrices — FitFeat plus one Apply. Scaling records under the
+// "preprocess" stage, filter methods and Fisher-LDA under "featsel"; the
+// no-op option records nothing.
 func applyFeat(f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
-	switch f.Kind {
-	case "scaler":
-		defer telemetry.Time("preprocess")()
-	case "filter", "fisherlda":
-		defer telemetry.Time("featsel")()
+	t, xTr, err := FitFeat(f, train)
+	if err != nil {
+		return nil, nil, err
 	}
-	switch f.Kind {
-	case "", "none":
-		return train.X, test.X, nil
-	case "scaler":
-		sc, err := preprocess.New(f.Name)
-		if err != nil {
-			return nil, nil, err
-		}
-		sc.Fit(train.X)
-		return sc.Transform(train.X), sc.Transform(test.X), nil
-	case "filter":
-		sel, err := featsel.New(f.Name)
-		if err != nil {
-			return nil, nil, err
-		}
-		k := int(FilterKeepFraction * float64(train.D()))
-		if k < 1 {
-			k = 1
-		}
-		cols := sel.Select(train.X, train.Y, k)
-		sort.Ints(cols)
-		reduced := train.SelectFeatures(cols)
-		reducedTest := test.SelectFeatures(cols)
-		return reduced.X, reducedTest.X, nil
-	case "fisherlda":
-		lda := &featsel.FisherLDA{}
-		xTr := lda.FitTransform(train.X, train.Y)
-		return xTr, lda.Transform(test.X), nil
-	default:
-		return nil, nil, fmt.Errorf("pipeline: unknown FEAT kind %q", f.Kind)
-	}
+	return xTr, t.Apply(test.X), nil
 }
 
 // ClassifierSurface is the exposed tuning surface of one classifier on a

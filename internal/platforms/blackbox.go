@@ -98,6 +98,17 @@ func (b *blackBox) PredictPoints(_ pipeline.Config, train *dataset.Dataset, poin
 	return pipeline.PredictPoints(cfg, train, points, r.Split("final"))
 }
 
+// Fit implements Platform: run the hidden selection probe once, train the
+// chosen candidate once, and keep the result resident. The RNG stream is
+// exactly the one PredictPoints consumes ("choose" then "final"), so the
+// fitted model — including which family the probe picked — predicts
+// byte-identically to the refit path.
+func (b *blackBox) Fit(_ pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	r := runRNG(b.name, train.Name, seed)
+	cfg := b.choose(train, r.Split("choose"))
+	return pipeline.Fit(cfg, train, r.Split("final"))
+}
+
 // ChosenFamily exposes whether the hidden probe picks the non-linear
 // candidate for a dataset. It exists for white-box validation of the §6.2
 // inference methodology in tests and ablations — the measurement analyses

@@ -45,8 +45,26 @@ type Platform interface {
 	// 1-click services).
 	Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64) (pipeline.Result, error)
 	// PredictPoints trains on train and labels arbitrary query points —
-	// the primitive the §6.1 boundary probing uses.
+	// the primitive the §6.1 boundary probing uses. It refits per call;
+	// serving paths use Fit once and the returned model's Predict instead.
 	PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error)
+	// Fit trains one configuration and returns a reusable fitted model.
+	// The artifact bundles everything the platform's pipeline learned —
+	// fitted scaler/filter/LDA, trained classifier, hidden preprocessing
+	// (Amazon's binner) and the black boxes' resolved candidate choice —
+	// so Predict on it is byte-identical to PredictPoints with the same
+	// arguments (same seed → same model), without retraining.
+	Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error)
+}
+
+// FittedModel is a trained, reusable predictor — the artifact a real
+// serving system keeps resident after training (cf. TensorFlow-Serving's
+// loaded servable, Clipper's model container) so prediction is a pure
+// lookup + forward pass. Predict takes points in the uploaded dataset's
+// original feature space and is safe for concurrent use: nothing in the
+// fitted pipeline mutates after Fit.
+type FittedModel interface {
+	Predict(points [][]float64) []int
 }
 
 // CachedRunner is the optional fast path the sweep engine uses: platforms
@@ -142,6 +160,15 @@ func (u *userPlatform) PredictPoints(cfg pipeline.Config, train *dataset.Dataset
 		return nil, err
 	}
 	return pipeline.PredictPoints(cfg, train, points, runRNG(u.name, train.Name, seed))
+}
+
+// Fit implements Platform: validate against the surface, then train the
+// standard pipeline once under the same RNG stream PredictPoints derives.
+func (u *userPlatform) Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	if err := u.validate(cfg); err != nil {
+		return nil, err
+	}
+	return pipeline.Fit(cfg, train, runRNG(u.name, train.Name, seed))
 }
 
 // runRNG derives the deterministic RNG for one platform/dataset run.

@@ -81,6 +81,37 @@ func (a *Amazon) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, poin
 	return pipeline.PredictPoints(cfg, bTrain, q.Transform(points), runRNG(a.name, train.Name, seed))
 }
 
+// Fit implements Platform: the fitted artifact bundles the hidden binner
+// with the trained pipeline, so query points are binned with the statistics
+// learned at train time — exactly what PredictPoints recomputes per call.
+// (As with RunCached, the embedded userPlatform.Fit would skip the hidden
+// binning entirely, so the override is a correctness matter.)
+func (a *Amazon) Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	if err := a.validate(cfg); err != nil {
+		return nil, err
+	}
+	q := a.binner(train)
+	bTrain := train.Clone()
+	bTrain.X = q.Transform(train.X)
+	fp, err := pipeline.Fit(cfg, bTrain, runRNG(a.name, train.Name, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &binnedModel{q: q, fp: fp}, nil
+}
+
+// binnedModel pairs Amazon's hidden quantile binner with a trained pipeline
+// so the resident model accepts raw-space query points.
+type binnedModel struct {
+	q  *preprocess.OneHotBinning
+	fp *pipeline.FittedPipeline
+}
+
+// Predict implements FittedModel.
+func (m *binnedModel) Predict(points [][]float64) []int {
+	return m.fp.Predict(m.q.Transform(points))
+}
+
 func (*Amazon) binner(train *dataset.Dataset) *preprocess.OneHotBinning {
 	q := &preprocess.OneHotBinning{Bins: 12}
 	q.Fit(train.X)

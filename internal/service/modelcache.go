@@ -1,0 +1,132 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/telemetry"
+)
+
+// DefaultModelCacheModels bounds the fitted-model LRU when the server is
+// constructed. Fitted models at this repo's scale are small (weights, tree
+// nodes, binner edges — kilobytes to a few megabytes each), so the default
+// comfortably covers a busy multi-tenant mix while keeping worst-case
+// memory proportional to the bound, never to request history.
+const DefaultModelCacheModels = 128
+
+// modelCache is the fitted-model store behind the serving path: a bounded
+// LRU keyed by the (platform, dataset, config, seed) model identity, with
+// singleflight dedup so concurrent identical requests share one fit instead
+// of training the same model in parallel.
+//
+// Correctness never depends on cache state. The stored model *description*
+// remains the durable identity (the training substrate is deterministic, so
+// the same key always refits to the same model); the cache only removes
+// redundant fitting. An evicted model transparently refits on its next use,
+// and a capacity of zero disables residency entirely — every request refits,
+// which is exactly the pre-cache behaviour.
+type modelCache struct {
+	// reg is read per operation rather than captured at construction so the
+	// cache follows Server.WithRegistry redirection.
+	reg func() *telemetry.Registry
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*fitCall
+}
+
+// cacheItem is one resident model; the key is kept for map cleanup when the
+// LRU tail is dropped.
+type cacheItem struct {
+	key   string
+	model platforms.FittedModel
+}
+
+// fitCall is one in-flight fit. Followers block on done and share the
+// result; model and err are written before done closes and read only after.
+type fitCall struct {
+	done  chan struct{}
+	model platforms.FittedModel
+	err   error
+}
+
+func newModelCache(capacity int, reg func() *telemetry.Registry) *modelCache {
+	return &modelCache{
+		reg:      reg,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*fitCall{},
+	}
+}
+
+// setCapacity rebounds the LRU, evicting immediately if it shrank. Zero (or
+// negative) disables caching: every get runs its own fit.
+func (c *modelCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evictLocked()
+}
+
+// evictLocked drops LRU tails until the cache fits its capacity.
+func (c *modelCache) evictLocked() {
+	for c.ll.Len() > c.capacity && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheItem).key)
+		c.reg().Counter(telemetry.ModelCacheEvictions).Inc()
+	}
+}
+
+// get returns the fitted model for key, running fit at most once across
+// concurrent callers of the same key. refit reports whether the caller's
+// latency includes a model fit — a miss or a coalesced wait — rather than a
+// pure cache hit; failed fits are never cached, so errors retry naturally.
+func (c *modelCache) get(key string, fit func() (platforms.FittedModel, error)) (m platforms.FittedModel, refit bool, err error) {
+	c.mu.Lock()
+	if c.capacity <= 0 {
+		c.mu.Unlock()
+		m, err := fit()
+		return m, true, err
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		m := el.Value.(*cacheItem).model
+		c.mu.Unlock()
+		c.reg().Counter(telemetry.ModelCacheHits).Inc()
+		return m, false, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.reg().Counter(telemetry.ModelCacheCoalesced).Inc()
+		<-call.done
+		return call.model, true, call.err
+	}
+	call := &fitCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	c.reg().Counter(telemetry.ModelCacheMisses).Inc()
+	call.model, call.err = fit()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil && c.capacity > 0 {
+		c.items[key] = c.ll.PushFront(&cacheItem{key: key, model: call.model})
+		c.evictLocked()
+	}
+	close(call.done)
+	c.mu.Unlock()
+	return call.model, true, call.err
+}
+
+// size reports how many fitted models are resident.
+func (c *modelCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -18,6 +18,22 @@ const (
 	// the transform; a hit reuses previously fitted matrices.
 	FeatCacheHits   = "mlaas_featcache_hits_total"
 	FeatCacheMisses = "mlaas_featcache_misses_total"
+
+	// ModelCache* count fitted-model cache traffic on the serving path
+	// (internal/service): a hit serves a resident model, a miss runs a fit,
+	// an eviction drops the LRU tail (the model transparently refits on its
+	// next use), and a coalesced request waited on an identical in-flight
+	// fit instead of starting its own.
+	ModelCacheHits      = "mlaas_modelcache_hits_total"
+	ModelCacheMisses    = "mlaas_modelcache_misses_total"
+	ModelCacheEvictions = "mlaas_modelcache_evictions_total"
+	ModelCacheCoalesced = "mlaas_modelcache_coalesced_total"
+
+	// PredictPathHistogram splits predict-endpoint latency by serving path:
+	// path="forward" served a resident model (pure forward pass),
+	// path="refit" paid for a model fit first (cache miss, post-eviction
+	// refill, or a coalesced wait on another request's fit).
+	PredictPathHistogram = "mlaas_predict_path_duration_seconds"
 )
 
 func init() {
@@ -25,4 +41,9 @@ func init() {
 	Default().Describe(SweepUnitHistogram, "Duration of one (platform, dataset) measurement unit in seconds.")
 	Default().Describe(FeatCacheHits, "FEAT transform cache hits (transform reused).")
 	Default().Describe(FeatCacheMisses, "FEAT transform cache misses (transform fitted).")
+	Default().Describe(ModelCacheHits, "Fitted-model cache hits (resident model served).")
+	Default().Describe(ModelCacheMisses, "Fitted-model cache misses (model fitted).")
+	Default().Describe(ModelCacheEvictions, "Fitted models evicted from the LRU (refit on next use).")
+	Default().Describe(ModelCacheCoalesced, "Requests that waited on an identical in-flight fit.")
+	Default().Describe(PredictPathHistogram, "Predict latency split by serving path (forward vs refit).")
 }
