@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
 	./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench bench-quick loadgen-smoke
+.PHONY: all build vet test race check bench bench-quick loadgen-smoke trace-smoke
 
 all: check
 
@@ -29,13 +29,21 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race loadgen-smoke
+check: vet test race loadgen-smoke trace-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
 # still work before merging. Full benchmark instructions: EXPERIMENTS.md.
 loadgen-smoke:
 	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s
+
+# Flight-recorder smoke: a ~2s traced loadgen run exports its trace JSONL
+# and mlaas-trace must summarize a non-empty export — proves cross-process
+# stitching, the ring buffer, and the analysis CLI end to end.
+trace-smoke:
+	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s \
+		-trace-out /tmp/mlaas-trace-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/mlaas-trace /tmp/mlaas-trace-smoke.jsonl
 
 # The serial-vs-parallel sweep-engine pair (BenchmarkSweepSerial /
 # BenchmarkSweepParallel4); results are committed as BENCH_*.json.

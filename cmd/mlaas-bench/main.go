@@ -20,6 +20,11 @@
 //	                      Any worker count produces byte-identical measurements.
 //	-cache FILE           persist/reuse the sweep's raw measurements
 //	-v                    progress logging
+//	-progress             repaint a live done/total/rate/ETA line on stderr
+//	                      while the sweep runs (off when -v is set)
+//	-progress-addr :8090  serve the same snapshot as JSON at /progress
+//	-trace-out FILE       export the run's retained traces as JSONL
+//	                      (analyse with mlaas-trace)
 //	-telemetry            print the end-of-run telemetry summary to stderr
 //	                      (per-stage p50/p95/p99 latency, counter totals;
 //	                      default true)
@@ -32,10 +37,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"mlaasbench/internal/classifiers"
 	"mlaasbench/internal/core"
@@ -60,6 +68,9 @@ func main() {
 	verbose := flag.Bool("v", false, "progress logging")
 	cache := flag.String("cache", "", "sweep cache file: load if present, else run and save")
 	telemetrySummary := flag.Bool("telemetry", true, "print telemetry summary (stage latencies, counters) to stderr at exit")
+	progress := flag.Bool("progress", false, "repaint a live sweep progress line on stderr (ignored with -v)")
+	progressAddr := flag.String("progress-addr", "", "serve sweep progress as JSON at this address under /progress")
+	traceOut := flag.String("trace-out", "", "export retained traces as JSONL here at exit (analyse with mlaas-trace)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -89,19 +100,56 @@ func main() {
 	}
 	var sw *core.Sweep
 	if needsSweep {
+		tracker := core.NewProgressTracker()
 		opts := core.Options{
 			Profile:          profile,
 			Seed:             *seed,
 			MaxDatasets:      *maxDatasets,
 			StorePredictions: true,
 			Workers:          *workers,
+			Tracker:          tracker,
 		}
 		if *verbose {
 			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		}
+		if *progressAddr != "" {
+			mux := http.NewServeMux()
+			mux.Handle("/progress", tracker.Handler())
+			go func() {
+				if err := http.ListenAndServe(*progressAddr, mux); err != nil {
+					fmt.Fprintf(os.Stderr, "mlaas-bench: progress server: %v\n", err)
+				}
+			}()
+		}
+		// The live line repaints in place twice a second; -v's per-unit
+		// lines would shred it, so -v wins when both are set.
+		var stopLine func()
+		if *progress && !*verbose {
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(500 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-tick.C:
+						fmt.Fprintf(os.Stderr, "\r\033[K%s", tracker.Snapshot().Line())
+					case <-done:
+						fmt.Fprintf(os.Stderr, "\r\033[K%s\n", tracker.Snapshot().Line())
+						return
+					}
+				}
+			}()
+			stopLine = func() { close(done); wg.Wait() }
+		}
 		fmt.Fprintf(os.Stderr, "running measurement sweep (%d datasets, profile %s, %d workers)...\n",
 			datasetCount(*maxDatasets), profile.Name, *workers)
 		sw, err = core.LoadOrRunSweep(ctx, *cache, opts)
+		if stopLine != nil {
+			stopLine()
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -197,6 +245,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
 		telemetry.WriteDefaultSummary(os.Stderr)
 	}
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "traces written to %s\n", *traceOut)
+	}
+}
+
+// writeTraces exports the default registry's retained traces as JSONL.
+func writeTraces(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTraceJSONL(f, telemetry.Default().Traces().Snapshot()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func datasetCount(limit int) int {

@@ -81,6 +81,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "training seed")
 		cache      = flag.Int("cache", service.DefaultModelCacheModels, "model-cache size for the forward pass (in-process mode)")
 		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
+		traceOut   = flag.String("trace-out", "", "export every pass's retained traces as JSONL here (analyse with mlaas-trace)")
+		telSummary = flag.Bool("telemetry", false, "print each pass's telemetry summary to stderr")
 	)
 	flag.Parse()
 
@@ -108,12 +110,19 @@ func main() {
 		Seed:       *seed,
 	}
 
+	// Each pass records into its own registry — shared by the pass's server
+	// (in-process mode) and every closed-loop client — so cache-off and
+	// fit-once telemetry never mix, and a pass's exported traces contain
+	// both sides of each request stitch.
+	var passRegs []*telemetry.Registry
 	if *url != "" {
-		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration)
+		reg := telemetry.NewRegistry()
+		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration, reg)
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
 		rep.Passes = append(rep.Passes, pass)
+		passRegs = append(passRegs, reg)
 	} else {
 		// Two in-process passes over identical workloads. "refit" is the
 		// pre-fit-once serving path (cache disabled, every predict
@@ -122,20 +131,34 @@ func main() {
 			name  string
 			cache int
 		}{{"refit", 0}, {"forward", *cache}} {
+			reg := telemetry.NewRegistry()
 			srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).
-				WithRegistry(telemetry.NewRegistry()).
+				WithRegistry(reg).
 				WithModelCache(arm.cache).
 				Handler())
-			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration)
+			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, reg)
 			srv.Close()
 			if err != nil {
 				log.Fatalf("loadgen: %s pass: %v", arm.name, err)
 			}
 			rep.Passes = append(rep.Passes, pass)
+			passRegs = append(passRegs, reg)
 		}
 		if rep.Passes[0].ReqPerSec > 0 {
 			rep.SpeedupRPS = rep.Passes[1].ReqPerSec / rep.Passes[0].ReqPerSec
 		}
+	}
+	if *telSummary {
+		for i, reg := range passRegs {
+			fmt.Fprintf(os.Stderr, "--- %s pass telemetry ---\n", rep.Passes[i].Name)
+			telemetry.WriteSummary(os.Stderr, reg)
+		}
+	}
+	if *traceOut != "" {
+		if err := exportTraces(*traceOut, rep.Passes, passRegs); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		fmt.Printf("traces written to %s\n", *traceOut)
 	}
 
 	printSummary(rep)
@@ -151,11 +174,36 @@ func main() {
 	}
 }
 
+// exportTraces writes every pass's retained traces to one JSONL file, each
+// stamped with a "pass" attr on its root span so mlaas-trace can split them.
+func exportTraces(path string, passes []PassReport, regs []*telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, reg := range regs {
+		traces := reg.Traces().Snapshot()
+		for j := range traces {
+			if traces[j].Root.Attrs == nil {
+				traces[j].Root.Attrs = map[string]string{}
+			}
+			traces[j].Root.Attrs["pass"] = passes[i].Name
+		}
+		if err := telemetry.WriteTraceJSONL(f, traces); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 // runPass uploads + trains once, then runs closed-loop predict clients
-// against the model until the deadline.
-func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch int, d time.Duration) (PassReport, error) {
+// against the model until the deadline. Every client records into reg, the
+// same registry the pass's in-process server uses.
+func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch int, d time.Duration, reg *telemetry.Registry) (PassReport, error) {
 	ctx := context.Background()
 	c := client.New(url)
+	c.Telemetry = reg
 	dsID, err := c.Upload(ctx, platform, sp.Train)
 	if err != nil {
 		return PassReport{}, fmt.Errorf("upload: %w", err)
@@ -187,6 +235,7 @@ func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, 
 		go func() {
 			defer wg.Done()
 			cl := client.New(url)
+			cl.Telemetry = reg
 			var local []float64
 			localErrs := 0
 			for time.Now().Before(deadline) {

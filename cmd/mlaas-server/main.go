@@ -3,6 +3,8 @@
 // Usage:
 //
 //	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
+//	             [-log-format text|json] [-log-level debug|info|warn|error]
+//	             [-slow-request 250ms]
 //
 // The API mirrors the 2016-era services the paper measured:
 //
@@ -14,9 +16,15 @@
 //
 // Observability endpoints ride on the same listener:
 //
-//	GET /metrics        Prometheus text exposition
-//	GET /metrics.json   snapshot with p50/p95/p99 per histogram
-//	GET /healthz        liveness + uptime
+//	GET /metrics           Prometheus text exposition
+//	GET /metrics.json      snapshot with p50/p95/p99 per histogram
+//	GET /debug/traces      flight-recorder index (retained trace summaries)
+//	GET /debug/traces/{id} one retained trace as its full span tree
+//	GET /healthz           liveness + uptime
+//
+// Every request logs one structured record (log/slog) stamped with its
+// request and trace ids; -log-level debug shows them all, and requests
+// slower than -slow-request escalate to Warn at any level.
 //
 // -pprof mounts net/http/pprof on a separate (private) listener so
 // profiling is never exposed on the public API address.
@@ -26,7 +34,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -43,15 +53,27 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this private address (e.g. 127.0.0.1:6060); empty disables")
 	modelCache := flag.Int("model-cache", service.DefaultModelCacheModels,
 		"max fitted models kept resident (LRU); 0 disables the cache and refits per predict")
+	logFormat := flag.String("log-format", "text", "structured request log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
+	slowReq := flag.Duration("slow-request", 250*time.Millisecond,
+		"requests slower than this log at Warn; 0 disables the escalation")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		log.Fatalf("mlaas-server: %v", err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewServer(logf).WithModelCache(*modelCache).Handler(),
+		Addr: *addr,
+		Handler: service.NewServer(logf).
+			WithModelCache(*modelCache).
+			WithLogger(logger).
+			WithSlowRequestThreshold(*slowReq).
+			Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -71,6 +93,23 @@ func main() {
 	log.Printf("mlaas-server listening on %s (metrics at /metrics, health at /healthz)", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
+	}
+}
+
+// buildLogger constructs the slog request logger from the CLI flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
 	}
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"mlaasbench/internal/telemetry"
+)
+
+// fragments builds a client fragment plus a server fragment of the same
+// distributed trace: the server's http:train root names the client's
+// rpc:train span as its parent, exactly what -trace-out files contain.
+func fragments() []telemetry.TraceData {
+	client := telemetry.TraceData{
+		TraceID:         "0af7651916cd43dd8448eb211c80319c",
+		DurationSeconds: 0.030,
+		Spans:           2,
+		Root: telemetry.SpanData{
+			SpanID: "b7ad6b7169203331", Name: "measure", Path: "measure",
+			StartUnixNano: 1000, DurationSeconds: 0.030,
+			Attrs: map[string]string{"platform": "amazon", "dataset": "tr"},
+			Children: []telemetry.SpanData{{
+				SpanID: "00f067aa0ba902b7", ParentID: "b7ad6b7169203331",
+				Name: "rpc:train", Path: "measure/rpc:train",
+				StartUnixNano: 2000, DurationSeconds: 0.025,
+			}},
+		},
+	}
+	server := telemetry.TraceData{
+		TraceID:         "0af7651916cd43dd8448eb211c80319c",
+		DurationSeconds: 0.020,
+		Spans:           2,
+		Root: telemetry.SpanData{
+			SpanID: "9d3c0e8f4a1b6c2d", ParentID: "00f067aa0ba902b7",
+			Name: "http:train", Path: "http:train",
+			StartUnixNano: 3000, DurationSeconds: 0.020,
+			Children: []telemetry.SpanData{{
+				SpanID: "1a2b3c4d5e6f7a8b", ParentID: "9d3c0e8f4a1b6c2d",
+				Name: "model_fit", Path: "http:train/model_fit",
+				StartUnixNano: 4000, DurationSeconds: 0.018,
+			}},
+		},
+	}
+	return []telemetry.TraceData{client, server}
+}
+
+func TestMergeFragmentsStitchesAcrossProcesses(t *testing.T) {
+	merged := mergeFragments(fragments())
+	if len(merged) != 1 {
+		t.Fatalf("merged into %d traces, want 1", len(merged))
+	}
+	m := merged[0]
+	if m.Spans != 4 {
+		t.Errorf("merged trace has %d spans, want 4", m.Spans)
+	}
+	if m.Root.Name != "measure" {
+		t.Errorf("merged root %q, want the client measure span", m.Root.Name)
+	}
+	rpc := m.Root.Children[0]
+	if rpc.Name != "rpc:train" || len(rpc.Children) != 1 || rpc.Children[0].Name != "http:train" {
+		t.Errorf("server fragment not grafted under rpc:train: %+v", rpc)
+	}
+}
+
+func TestMergeFragmentsKeepsOrphanRoots(t *testing.T) {
+	frags := fragments()[1:] // server fragment only; client side sampled out
+	merged := mergeFragments(frags)
+	if len(merged) != 1 || merged[0].Root.Name != "http:train" {
+		t.Fatalf("orphan fragment should survive as its own trace: %+v", merged)
+	}
+}
+
+func TestAnalysisSections(t *testing.T) {
+	merged := mergeFragments(fragments())
+
+	stages := stageBreakdown(merged)
+	byName := map[string]stageStat{}
+	for _, s := range stages {
+		byName[s.Name] = s
+	}
+	if byName["model_fit"].Count != 1 || byName["model_fit"].Total != 0.018 {
+		t.Errorf("model_fit stage stat wrong: %+v", byName["model_fit"])
+	}
+	if stages[0].Name != "measure" {
+		t.Errorf("stages not sorted by total: first is %s", stages[0].Name)
+	}
+
+	plats := platformRollup(merged)
+	if len(plats) != 1 || plats[0].Platform != "amazon" || plats[0].Traces != 1 {
+		t.Errorf("platform rollup wrong: %+v", plats)
+	}
+
+	cp := criticalPath(merged[0])
+	want := []string{"measure", "rpc:train", "http:train", "model_fit"}
+	if len(cp) != len(want) {
+		t.Fatalf("critical path has %d hops, want %d", len(cp), len(want))
+	}
+	for i, sd := range cp {
+		if sd.Name != want[i] {
+			t.Errorf("critical path hop %d is %s, want %s", i, sd.Name, want[i])
+		}
+	}
+
+	paths := selfTimeByPath(merged)
+	if paths[0].Path != "http:train/model_fit" {
+		t.Errorf("widest self-time path %q, want the leaf fit", paths[0].Path)
+	}
+}
+
+func TestJSONLRoundTripThroughAnalysis(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteTraceJSONL(&buf, fragments()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := telemetry.ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost fragments: %d", len(back))
+	}
+	if merged := mergeFragments(back); len(merged) != 1 || merged[0].Spans != 4 {
+		t.Fatalf("merge after round trip wrong: %+v", merged)
+	}
+}

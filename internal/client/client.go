@@ -194,8 +194,11 @@ func IsRetryable(err error) bool {
 
 // do executes one JSON request with retries and rate limiting. op is the
 // logical endpoint name used as the telemetry label ("upload", "train",
-// ...). One request id covers every retry of the same logical call.
-func (c *Client) do(ctx context.Context, op, method, path string, body, out any) error {
+// ...). One request id covers every retry of the same logical call, and so
+// does one "rpc:<op>" span: the span's trace context travels in the
+// Traceparent header, so the server's handler tree stitches under this
+// client span, with backoff sleeps and rate-limit waits as siblings.
+func (c *Client) do(ctx context.Context, op, method, path string, body, out any) (err error) {
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 30 * time.Second}
@@ -213,15 +216,24 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 		maxBackoff = DefaultMaxBackoff
 	}
 	reg := c.registry()
+	if c.Telemetry != nil {
+		ctx = telemetry.WithRegistry(ctx, c.Telemetry)
+	}
 	reg.Counter("mlaas_client_requests_total", "endpoint", op).Inc()
 	reqID := telemetry.RequestID(ctx)
 	if reqID == "" {
 		reqID = telemetry.NewRequestID()
 	}
+	ctx, rpc := telemetry.StartSpan(ctx, "rpc:"+op)
+	rpc.SetAttr("method", method).SetAttr("path", path).SetAttr("request_id", reqID)
+	traceparent := telemetry.FormatTraceParent(rpc.TraceID(), rpc.SpanID())
+	defer func() {
+		rpc.SetError(err)
+		rpc.End()
+	}()
 
 	var payload []byte
 	if body != nil {
-		var err error
 		payload, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
@@ -233,19 +245,24 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 			reg.Counter("mlaas_client_retries_total", "endpoint", op).Inc()
 			sleep := c.jitteredSleep(backoff)
 			reg.Histogram("mlaas_client_backoff_seconds", "endpoint", op).Observe(sleep.Seconds())
+			_, bspan := telemetry.StartSpan(ctx, "backoff")
 			select {
 			case <-time.After(sleep):
+				bspan.End()
 				backoff *= 2
 				if backoff > maxBackoff {
 					backoff = maxBackoff
 				}
 			case <-ctx.Done():
+				bspan.End()
 				return fmt.Errorf("client: %s aborted during backoff (request %s): %w", op, reqID, ctx.Err())
 			}
 		}
 		if c.Limiter != nil {
 			waitStart := time.Now()
+			_, wspan := telemetry.StartSpan(ctx, "ratelimit_wait")
 			err := c.Limiter.Wait(ctx)
+			wspan.End()
 			reg.Histogram("mlaas_client_ratelimit_wait_seconds", "endpoint", op).Observe(time.Since(waitStart).Seconds())
 			if err != nil {
 				return err
@@ -257,6 +274,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(telemetry.RequestIDHeader, reqID)
+		req.Header.Set(telemetry.TraceParentHeader, traceparent)
 		attemptStart := time.Now()
 		resp, err := httpc.Do(req)
 		reg.Histogram("mlaas_client_request_duration_seconds", "endpoint", op).Observe(time.Since(attemptStart).Seconds())
@@ -377,25 +395,47 @@ func (c *Client) PredictBatched(ctx context.Context, platform, modelID string, i
 // the wire: upload the training split, train with the config, query the
 // held-out test set and score locally (the service never sees test labels,
 // exactly as in the study).
-func (c *Client) Measure(ctx context.Context, platform string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
-	if c.Telemetry != nil {
-		ctx = telemetry.WithRegistry(ctx, c.Telemetry)
-	}
+func (c *Client) Measure(ctx context.Context, platform string, split dataset.Split, cfg pipeline.Config, seed uint64) (scores metrics.Scores, err error) {
+	ctx, measure := c.startMeasure(ctx, platform, split, cfg)
+	defer func() {
+		measure.SetError(err)
+		measure.End()
+	}()
 	upCtx, span := telemetry.StartSpan(ctx, "upload")
 	dsID, err := c.Upload(upCtx, platform, split.Train)
 	span.End()
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: upload: %w", err)
 	}
-	return c.MeasureOn(ctx, platform, dsID, split, cfg, seed)
+	return c.measureOn(ctx, platform, dsID, split, cfg, seed)
 }
 
 // MeasureOn is Measure for an already-uploaded dataset — the sweep path,
 // where one upload serves many configurations.
-func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
+func (c *Client) MeasureOn(ctx context.Context, platform, datasetID string, split dataset.Split, cfg pipeline.Config, seed uint64) (scores metrics.Scores, err error) {
+	ctx, measure := c.startMeasure(ctx, platform, split, cfg)
+	defer func() {
+		measure.SetError(err)
+		measure.End()
+	}()
+	return c.measureOn(ctx, platform, datasetID, split, cfg, seed)
+}
+
+// startMeasure routes telemetry to the client registry and opens the root
+// "measure" span that every rpc/score child of one measurement hangs off.
+func (c *Client) startMeasure(ctx context.Context, platform string, split dataset.Split, cfg pipeline.Config) (context.Context, *telemetry.Span) {
 	if c.Telemetry != nil {
 		ctx = telemetry.WithRegistry(ctx, c.Telemetry)
 	}
+	ctx, span := telemetry.StartSpan(ctx, "measure")
+	span.SetAttr("platform", platform).SetAttr("dataset", split.Train.Name)
+	if cfg.Classifier != "" {
+		span.SetAttr("config", cfg.String())
+	}
+	return ctx, span
+}
+
+func (c *Client) measureOn(ctx context.Context, platform, datasetID string, split dataset.Split, cfg pipeline.Config, seed uint64) (metrics.Scores, error) {
 	modelID, err := c.Train(ctx, platform, datasetID, cfg, seed)
 	if err != nil {
 		return metrics.Scores{}, fmt.Errorf("client: train: %w", err)

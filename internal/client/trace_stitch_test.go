@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// collectSpans flattens a span tree into a map from span id to the span.
+func collectSpans(sd telemetry.SpanData, out map[string]telemetry.SpanData) {
+	out[sd.SpanID] = sd
+	for _, c := range sd.Children {
+		collectSpans(c, out)
+	}
+}
+
+// TestClientServerTraceStitch is the acceptance check for cross-process
+// trace propagation: one Measure round-trip (upload, train, predict, score)
+// against a live HTTP server must yield spans in the client registry and
+// the server registry that share a single trace id, with each server-side
+// root parented under the client rpc span that issued the request.
+func TestClientServerTraceStitch(t *testing.T) {
+	serverReg := telemetry.NewRegistry()
+	srv := service.NewServer(func(string, ...any) {}).WithRegistry(serverReg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clientReg := telemetry.NewRegistry()
+	c := New(ts.URL)
+	c.Telemetry = clientReg
+
+	split := dataset.Split{
+		Train: &dataset.Dataset{Name: "tr", X: [][]float64{{-1}, {-2}, {1}, {2}}, Y: []int{0, 0, 1, 1}},
+		Test:  &dataset.Dataset{Name: "te", X: [][]float64{{-3}, {3}}, Y: []int{0, 1}},
+	}
+	if _, err := c.Measure(context.Background(), "google", split, pipeline.Config{}, 1); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+
+	// Client side: exactly one retained trace, rooted at "measure".
+	clientTraces := clientReg.Traces().Snapshot()
+	if len(clientTraces) != 1 {
+		t.Fatalf("client retained %d traces, want 1", len(clientTraces))
+	}
+	ct := clientTraces[0]
+	if ct.Root.Name != "measure" {
+		t.Fatalf("client root span %q, want measure", ct.Root.Name)
+	}
+	clientSpans := map[string]telemetry.SpanData{}
+	collectSpans(ct.Root, clientSpans)
+	rpcByOp := map[string]telemetry.SpanData{}
+	for _, sp := range clientSpans {
+		switch sp.Name {
+		case "rpc:upload", "rpc:train", "rpc:predict":
+			rpcByOp[sp.Name] = sp
+		}
+	}
+	if len(rpcByOp) != 3 {
+		t.Fatalf("client trace has rpc spans %v, want upload/train/predict", rpcByOp)
+	}
+	// Every rpc span must be a descendant of the measure root (rpc:upload
+	// sits below the intermediate "upload" span; train/predict attach to
+	// the root directly).
+	for op, sp := range rpcByOp {
+		hops := 0
+		for sp.ParentID != "" && hops < 10 {
+			parent, ok := clientSpans[sp.ParentID]
+			if !ok {
+				t.Errorf("%s has dangling parent %q", op, sp.ParentID)
+				break
+			}
+			sp, hops = parent, hops+1
+		}
+		if sp.SpanID != ct.Root.SpanID {
+			t.Errorf("%s does not descend from measure root", op)
+		}
+	}
+
+	// Server side: every handler trace joined the client's trace id, and
+	// each server root hangs off the rpc span that issued it.
+	serverTraces := serverReg.Traces().Snapshot()
+	wantParent := map[string]string{
+		"http:upload":  rpcByOp["rpc:upload"].SpanID,
+		"http:train":   rpcByOp["rpc:train"].SpanID,
+		"http:predict": rpcByOp["rpc:predict"].SpanID,
+	}
+	seen := map[string]int{}
+	for _, st := range serverTraces {
+		if st.TraceID != ct.TraceID {
+			t.Errorf("server trace %s id %q, want client trace id %q", st.Root.Name, st.TraceID, ct.TraceID)
+		}
+		parent, ok := wantParent[st.Root.Name]
+		if !ok {
+			t.Errorf("unexpected server root span %q", st.Root.Name)
+			continue
+		}
+		if st.Root.ParentID != parent {
+			t.Errorf("%s parented at %q, want client rpc span %q", st.Root.Name, st.Root.ParentID, parent)
+		}
+		seen[st.Root.Name]++
+	}
+	for name := range wantParent {
+		if seen[name] == 0 {
+			t.Errorf("server retained no %s trace", name)
+		}
+	}
+
+	// The train handler's fit must have recorded pipeline stage spans under
+	// the server root — the in-process tree is part of the same stitch.
+	var trainTrace telemetry.TraceData
+	for _, st := range serverTraces {
+		if st.Root.Name == "http:train" {
+			trainTrace = st
+		}
+	}
+	spans := map[string]telemetry.SpanData{}
+	collectSpans(trainTrace.Root, spans)
+	var sawFit bool
+	for _, sp := range spans {
+		if sp.Name == "model_fit" {
+			sawFit = true
+		}
+	}
+	if !sawFit {
+		t.Errorf("train trace lacks model_fit span; spans: %d", len(spans))
+	}
+}

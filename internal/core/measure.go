@@ -42,6 +42,10 @@ type Options struct {
 	// Calls are serialized, but with Workers > 1 their order follows unit
 	// completion, not corpus order.
 	Progress func(string)
+	// Tracker, if non-nil, is Begin()-ed with the unit count and advanced
+	// as units complete — the source of the live progress line and the
+	// /progress JSON snapshot.
+	Tracker *ProgressTracker
 }
 
 // DefaultOptions returns the standard quick-profile sweep configuration.
@@ -148,8 +152,15 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 		sw.ByPlatform[p.Name()] = make(map[string][]Measurement, len(specs))
 	}
 
-	ctx, sweepSpan := telemetry.StartSpan(ctx, "sweep")
-	defer sweepSpan.End()
+	// The sweep itself is a plain stage timer, not a span: a span here
+	// would become the root of one giant trace retaining every measurement
+	// underneath it. Instead each measured config is its own root trace
+	// (see measureOne) and the flight recorder samples among them.
+	reg := telemetry.RegistryFrom(ctx)
+	defer reg.Time("sweep")()
+	if opts.Tracker != nil {
+		opts.Tracker.Begin(len(specs) * len(plans))
+	}
 	splitRNG := rng.New(opts.Seed).Split("splits")
 
 	// dsOut collects one dataset's results, indexed like specs/plans so the
@@ -180,10 +191,11 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 			if !pl.acquire() {
 				return
 			}
-			stopGen := telemetry.Time("corpus_gen")
+			_, genSpan := telemetry.StartSpan(pl.ctx, "corpus_gen")
+			genSpan.SetAttr("dataset", specs[di].Name)
 			ds := synth.GenerateClean(specs[di], opts.Profile, opts.Seed)
 			sp := ds.StratifiedSplit(0.7, splitRNG.Split(ds.Name))
-			stopGen()
+			genSpan.End()
 			pl.release()
 			outs[di].info = DatasetInfo{
 				Name:   ds.Name,
@@ -209,7 +221,10 @@ func RunSweep(ctx context.Context, opts Options) (*Sweep, error) {
 						return // failed or cancelled mid-unit; the pool holds the error
 					}
 					outs[di].units[pi] = ms
-					telemetry.Default().Counter("mlaas_sweep_measurements_total", "platform", plans[pi].platform.Name()).Add(int64(len(ms)))
+					reg.Counter("mlaas_sweep_measurements_total", "platform", plans[pi].platform.Name()).Add(int64(len(ms)))
+					if opts.Tracker != nil {
+						opts.Tracker.Add(1)
+					}
 					progress(fmt.Sprintf("%-14s %-24s %d configs", plans[pi].platform.Name(), ds.Name, len(ms)))
 				}(pi)
 			}
@@ -289,7 +304,7 @@ func runUnit(pl *pool, plan unitPlan, sp dataset.Split, dsName string, opts Opti
 				if pl.ctx.Err() != nil {
 					return
 				}
-				m, err := measureOne(plan, plan.configs[i], sp, dsName, opts, cache)
+				m, err := measureOne(pl.ctx, plan, plan.configs[i], sp, dsName, opts, cache)
 				if err != nil {
 					pl.fail(fmt.Errorf("core: %s on %s: %w", plan.platform.Name(), dsName, err))
 					return
@@ -299,7 +314,7 @@ func runUnit(pl *pool, plan unitPlan, sp dataset.Split, dsName string, opts Opti
 		}(lo, hi)
 	}
 	batchWG.Wait()
-	telemetry.Default().Histogram(telemetry.SweepUnitHistogram, "platform", plan.platform.Name()).
+	telemetry.RegistryFrom(pl.ctx).Histogram(telemetry.SweepUnitHistogram, "platform", plan.platform.Name()).
 		Observe(time.Since(unitStart).Seconds())
 	if pl.ctx.Err() != nil {
 		return nil
@@ -307,25 +322,41 @@ func runUnit(pl *pool, plan unitPlan, sp dataset.Split, dsName string, opts Opti
 	return out
 }
 
-// measureOne runs a single configuration of a plan on one split. Platforms
-// implementing CachedRunner share fitted FEAT transforms via the cache;
-// black boxes always take the plain Run path (their hidden probe fits on
-// internal re-splits the cache cannot represent).
-func measureOne(plan unitPlan, cfg pipeline.Config, sp dataset.Split, dsName string, opts Options, cache *pipeline.FeatCache) (Measurement, error) {
+// measureOne runs a single configuration of a plan on one split as its own
+// root trace ("measure" span with platform/dataset/config attrs, pipeline
+// stages as children). Platforms implementing ContextRunner get the traced
+// path; CachedRunner/Run remain as fallbacks for external Platform
+// implementations. Black boxes get a nil cache either way (their hidden
+// probe fits on internal re-splits the cache cannot represent).
+func measureOne(ctx context.Context, plan unitPlan, cfg pipeline.Config, sp dataset.Split, dsName string, opts Options, cache *pipeline.FeatCache) (Measurement, error) {
 	p := plan.platform
+	unitCache := cache
+	if plan.blackBox {
+		unitCache = nil
+	}
+	mctx, span := telemetry.StartSpan(ctx, "measure")
+	span.SetAttr("platform", p.Name()).SetAttr("dataset", dsName)
+	if !plan.blackBox {
+		span.SetAttr("config", cfg.String())
+	}
 	start := time.Now()
 	var (
 		res pipeline.Result
 		err error
 	)
-	if cr, ok := p.(platforms.CachedRunner); ok && cache != nil && !plan.blackBox {
-		res, err = cr.RunCached(cfg, sp.Train, sp.Test, opts.Seed, cache)
+	if cr, ok := p.(platforms.ContextRunner); ok {
+		res, err = cr.RunCtx(mctx, cfg, sp.Train, sp.Test, opts.Seed, unitCache)
+	} else if cr, ok := p.(platforms.CachedRunner); ok && unitCache != nil {
+		res, err = cr.RunCached(cfg, sp.Train, sp.Test, opts.Seed, unitCache)
 	} else {
 		res, err = p.Run(cfg, sp.Train, sp.Test, opts.Seed)
 	}
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		return Measurement{}, err
 	}
+	span.End()
 	m := Measurement{
 		Platform: p.Name(),
 		Dataset:  dsName,
@@ -350,7 +381,7 @@ func measurePlatform(p platforms.Platform, sp dataset.Split, dsName string, opts
 	cache := pipeline.NewFeatCache()
 	out := make([]Measurement, len(plan.configs))
 	for i, cfg := range plan.configs {
-		m, err := measureOne(plan, cfg, sp, dsName, opts, cache)
+		m, err := measureOne(context.Background(), plan, cfg, sp, dsName, opts, cache)
 		if err != nil {
 			return nil, err
 		}

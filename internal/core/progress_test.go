@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestProgressTrackerDuringSweep drives a tiny sweep and checks the
+// acceptance properties of the progress surface: the done-count rises
+// monotonically to total, and once a unit has finished the ETA is finite.
+func TestProgressTrackerDuringSweep(t *testing.T) {
+	tr := NewProgressTracker()
+	opts := DefaultOptions()
+	opts.MaxDatasets = 2
+	opts.Platforms = []string{"google", "amazon"}
+	opts.Workers = 2
+	opts.Tracker = tr
+
+	var lines []string
+	prevDone := -1
+	opts.Progress = func(string) {
+		s := tr.Snapshot()
+		if s.DoneUnits < prevDone {
+			t.Errorf("done count went backwards: %d after %d", s.DoneUnits, prevDone)
+		}
+		prevDone = s.DoneUnits
+		if s.DoneUnits > 0 && (s.EtaSeconds < 0 || s.EtaSeconds != s.EtaSeconds) {
+			t.Errorf("ETA not finite after %d done units: %v", s.DoneUnits, s.EtaSeconds)
+		}
+		lines = append(lines, s.Line())
+	}
+	if _, err := RunSweep(context.Background(), opts); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	final := tr.Snapshot()
+	if final.DoneUnits != 4 || final.TotalUnits != 4 {
+		t.Fatalf("final progress %d/%d, want 4/4", final.DoneUnits, final.TotalUnits)
+	}
+	if final.Percent != 100 {
+		t.Errorf("final percent %.1f, want 100", final.Percent)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], "sweep 4/4 units") {
+		t.Errorf("last progress line %q lacks final count", lines[len(lines)-1])
+	}
+
+	// The /progress handler serves the same snapshot as JSON.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	var snap ProgressSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode /progress: %v", err)
+	}
+	if snap.DoneUnits != 4 || snap.TotalUnits != 4 {
+		t.Errorf("/progress served %d/%d, want 4/4", snap.DoneUnits, snap.TotalUnits)
+	}
+}

@@ -20,6 +20,7 @@ type pool struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	slots  chan struct{}
+	reg    *telemetry.Registry
 
 	errOnce sync.Once
 	err     error
@@ -29,8 +30,9 @@ func newPool(ctx context.Context, workers int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
+	reg := telemetry.RegistryFrom(ctx)
 	ctx, cancel := context.WithCancel(ctx)
-	return &pool{ctx: ctx, cancel: cancel, slots: make(chan struct{}, workers)}
+	return &pool{ctx: ctx, cancel: cancel, slots: make(chan struct{}, workers), reg: reg}
 }
 
 // acquire blocks until a slot is free and returns true, or returns false
@@ -48,13 +50,13 @@ func (p *pool) acquire() bool {
 		p.fail(p.ctx.Err())
 		return false
 	}
-	telemetry.Default().Gauge(telemetry.SweepWorkersGauge).Inc()
+	p.reg.Gauge(telemetry.SweepWorkersGauge).Inc()
 	return true
 }
 
 // release returns a slot acquired with acquire.
 func (p *pool) release() {
-	telemetry.Default().Gauge(telemetry.SweepWorkersGauge).Dec()
+	p.reg.Gauge(telemetry.SweepWorkersGauge).Dec()
 	<-p.slots
 }
 

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mlaasbench/internal/telemetry"
+)
+
+func sumSpansByName(sd telemetry.SpanData, totals map[string]float64) {
+	totals[sd.Name] += sd.DurationSeconds
+	for _, c := range sd.Children {
+		sumSpansByName(c, totals)
+	}
+}
+
+// TestParallelSweepTraceStageTotals is the acceptance check tying the two
+// telemetry surfaces together: with the flight recorder sized to retain
+// every trace, the per-stage durations summed over the retained span trees
+// must agree with the stage histogram totals to within 5%. TimeCtx feeds
+// both surfaces from one observation, so a divergence means spans were
+// dropped or double-counted somewhere.
+//
+// (The name matches the Makefile's core race pattern -run 'TestParallel|...'
+// so this stitch runs under the race detector in `make race`.)
+func TestParallelSweepTraceStageTotals(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.ConfigureTraces(telemetry.TraceConfig{
+		Capacity:    1 << 16, // retain everything a 2-dataset quick sweep emits
+		KeepSlowest: 16,
+		SampleRate:  1,
+		Seed:        1,
+	})
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+
+	opts := DefaultOptions()
+	opts.MaxDatasets = 2
+	opts.Platforms = []string{"amazon", "microsoft"}
+	opts.Workers = 4
+	if _, err := RunSweep(ctx, opts); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	traces := reg.Traces().Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("flight recorder retained no traces")
+	}
+	if kept := reg.Counter(telemetry.TracesEvictedTotal).Value(); kept != 0 {
+		t.Fatalf("buffer evicted %d traces; capacity too small for the criterion", kept)
+	}
+	spanTotals := map[string]float64{}
+	for _, td := range traces {
+		if td.DroppedSpans > 0 {
+			t.Fatalf("trace %s dropped %d spans", td.TraceID, td.DroppedSpans)
+		}
+		sumSpansByName(td.Root, spanTotals)
+	}
+
+	for _, stage := range []string{"fit", "predict", "score"} {
+		hist := reg.Histogram(telemetry.StageHistogram, "stage", stage).Sum()
+		spans := spanTotals[stage]
+		if hist <= 0 || spans <= 0 {
+			t.Errorf("stage %s: empty totals (hist %.6f, spans %.6f)", stage, hist, spans)
+			continue
+		}
+		if diff := math.Abs(hist-spans) / hist; diff > 0.05 {
+			t.Errorf("stage %s: trace span total %.6fs vs histogram total %.6fs (%.1f%% apart, want <=5%%)",
+				stage, spans, hist, 100*diff)
+		}
+	}
+}

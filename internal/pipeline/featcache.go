@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 
 	"mlaasbench/internal/dataset"
@@ -76,6 +77,14 @@ func (c *FeatCache) Memo(key string, compute func() (any, error)) (any, error) {
 // the transform at most once. The "none" option bypasses the cache — it has
 // nothing to fit and its matrices are the split's own.
 func (c *FeatCache) Transform(f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
+	return c.TransformCtx(context.Background(), f, train, test)
+}
+
+// TransformCtx is Transform with context-routed telemetry: the fitting
+// goroutine's featsel/preprocess stage lands in its trace, and hit/miss
+// counters go to ctx's registry (Default when absent). Coalesced waiters
+// record a hit but no stage time — they did no fitting work.
+func (c *FeatCache) TransformCtx(ctx context.Context, f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
 	if f.Kind == "" || f.Kind == "none" {
 		return train.X, test.X, nil
 	}
@@ -84,10 +93,10 @@ func (c *FeatCache) Transform(f Feat, train, test *dataset.Dataset) (xTr, xTe []
 	e.once.Do(func() {
 		fitted = true
 		var v featXY
-		v.xTr, v.xTe, e.err = applyFeat(f, train, test)
+		v.xTr, v.xTe, e.err = applyFeatCtx(ctx, f, train, test)
 		e.val = v
 	})
-	reg := telemetry.Default()
+	reg := telemetry.RegistryFrom(ctx)
 	if fitted {
 		reg.Counter(telemetry.FeatCacheMisses, "kind", f.Kind).Inc()
 	} else {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,11 +32,16 @@ func (t *FittedTransform) Feat() Feat { return t.feat }
 // yields exactly what applyFeat would produce for the same fitted state, so
 // fit-once serving stays byte-identical to the refit path.
 func FitFeat(f Feat, train *dataset.Dataset) (*FittedTransform, [][]float64, error) {
+	return FitFeatCtx(context.Background(), f, train)
+}
+
+// FitFeatCtx is FitFeat with context-routed stage timing (see RunCtx).
+func FitFeatCtx(ctx context.Context, f Feat, train *dataset.Dataset) (*FittedTransform, [][]float64, error) {
 	switch f.Kind {
 	case "scaler":
-		defer telemetry.Time("preprocess")()
+		defer telemetry.TimeCtx(ctx, "preprocess")()
 	case "filter", "fisherlda":
-		defer telemetry.Time("featsel")()
+		defer telemetry.TimeCtx(ctx, "featsel")()
 	}
 	t := &FittedTransform{feat: f}
 	switch f.Kind {
@@ -75,14 +81,19 @@ func FitFeat(f Feat, train *dataset.Dataset) (*FittedTransform, [][]float64, err
 // Apply transforms query rows with the fitted statistics. The inputs are
 // never modified; the "none" option returns the rows unchanged.
 func (t *FittedTransform) Apply(points [][]float64) [][]float64 {
+	return t.ApplyCtx(context.Background(), points)
+}
+
+// ApplyCtx is Apply with context-routed stage timing (see RunCtx).
+func (t *FittedTransform) ApplyCtx(ctx context.Context, points [][]float64) [][]float64 {
 	switch t.feat.Kind {
 	case "", "none":
 		return points
 	case "scaler":
-		defer telemetry.Time("preprocess")()
+		defer telemetry.TimeCtx(ctx, "preprocess")()
 		return t.scaler.Transform(points)
 	case "filter":
-		defer telemetry.Time("featsel")()
+		defer telemetry.TimeCtx(ctx, "featsel")()
 		// One flat backing array for the whole batch: a single allocation
 		// instead of one per row on the serving hot path.
 		w := len(t.cols)
@@ -97,7 +108,7 @@ func (t *FittedTransform) Apply(points [][]float64) [][]float64 {
 		}
 		return out
 	case "fisherlda":
-		defer telemetry.Time("featsel")()
+		defer telemetry.TimeCtx(ctx, "featsel")()
 		return t.lda.Transform(points)
 	}
 	// FitFeat rejects unknown kinds, so a FittedTransform always has a
@@ -122,7 +133,12 @@ type FittedPipeline struct {
 // Predict yields labels byte-identical to PredictPoints with the same
 // arguments: same seed, same model.
 func Fit(cfg Config, train *dataset.Dataset, r *rng.RNG) (*FittedPipeline, error) {
-	t, xTr, err := FitFeat(cfg.Feat, train)
+	return FitCtx(context.Background(), cfg, train, r)
+}
+
+// FitCtx is Fit with context-routed stage timing (see RunCtx).
+func FitCtx(ctx context.Context, cfg Config, train *dataset.Dataset, r *rng.RNG) (*FittedPipeline, error) {
+	t, xTr, err := FitFeatCtx(ctx, cfg.Feat, train)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +146,7 @@ func Fit(cfg Config, train *dataset.Dataset, r *rng.RNG) (*FittedPipeline, error
 	if err != nil {
 		return nil, err
 	}
-	stopFit := telemetry.Time("fit")
+	stopFit := telemetry.TimeCtx(ctx, "fit")
 	err = clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String()))
 	stopFit()
 	if err != nil {
@@ -143,8 +159,13 @@ func Fit(cfg Config, train *dataset.Dataset, r *rng.RNG) (*FittedPipeline, error
 // fitted FEAT statistics, then one classifier forward pass. No training
 // happens here.
 func (fp *FittedPipeline) Predict(points [][]float64) []int {
-	xQ := fp.transform.Apply(points)
-	stop := telemetry.Time("predict")
+	return fp.PredictCtx(context.Background(), points)
+}
+
+// PredictCtx is Predict with context-routed stage timing (see RunCtx).
+func (fp *FittedPipeline) PredictCtx(ctx context.Context, points [][]float64) []int {
+	xQ := fp.transform.ApplyCtx(ctx, points)
+	stop := telemetry.TimeCtx(ctx, "predict")
 	defer stop()
 	return fp.clf.Predict(xQ)
 }

@@ -10,6 +10,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -98,7 +99,7 @@ type Result struct {
 // data, transform both sides, train the classifier, predict the test set
 // and score. The RNG governs all stochastic training steps.
 func Run(cfg Config, train, test *dataset.Dataset, r *rng.RNG) (Result, error) {
-	return RunWithCache(cfg, train, test, r, nil)
+	return RunCtx(context.Background(), cfg, train, test, r, nil)
 }
 
 // RunWithCache is Run with an optional per-split FeatCache: when cache is
@@ -106,14 +107,23 @@ func Run(cfg Config, train, test *dataset.Dataset, r *rng.RNG) (Result, error) {
 // transformed matrices are shared read-only across configs. A nil cache
 // fits per call, exactly like Run.
 func RunWithCache(cfg Config, train, test *dataset.Dataset, r *rng.RNG, cache *FeatCache) (Result, error) {
+	return RunCtx(context.Background(), cfg, train, test, r, cache)
+}
+
+// RunCtx is RunWithCache threaded through a context: stage timings become
+// child spans when ctx carries a span (so a measured config renders as one
+// trace tree) and land in ctx's registry, falling back to plain Default
+// registry timers otherwise. The computation itself is context-free —
+// cancellation is the sweep scheduler's job, between configs.
+func RunCtx(ctx context.Context, cfg Config, train, test *dataset.Dataset, r *rng.RNG, cache *FeatCache) (Result, error) {
 	var (
 		xTr, xTe [][]float64
 		err      error
 	)
 	if cache != nil {
-		xTr, xTe, err = cache.Transform(cfg.Feat, train, test)
+		xTr, xTe, err = cache.TransformCtx(ctx, cfg.Feat, train, test)
 	} else {
-		xTr, xTe, err = applyFeat(cfg.Feat, train, test)
+		xTr, xTe, err = applyFeatCtx(ctx, cfg.Feat, train, test)
 	}
 	if err != nil {
 		return Result{}, err
@@ -122,16 +132,16 @@ func RunWithCache(cfg Config, train, test *dataset.Dataset, r *rng.RNG, cache *F
 	if err != nil {
 		return Result{}, err
 	}
-	stopFit := telemetry.Time("fit")
+	stopFit := telemetry.TimeCtx(ctx, "fit")
 	err = clf.Fit(xTr, train.Y, r.Split("fit/"+cfg.String()))
 	stopFit()
 	if err != nil {
 		return Result{}, fmt.Errorf("pipeline: fit %s on %s: %w", cfg.Classifier, train.Name, err)
 	}
-	stopPredict := telemetry.Time("predict")
+	stopPredict := telemetry.TimeCtx(ctx, "predict")
 	pred := clf.Predict(xTe)
 	stopPredict()
-	stopScore := telemetry.Time("score")
+	stopScore := telemetry.TimeCtx(ctx, "score")
 	scores, err := metrics.Score(test.Y, pred)
 	stopScore()
 	if err != nil {
@@ -170,11 +180,15 @@ func PredictPoints(cfg Config, train *dataset.Dataset, points [][]float64, r *rn
 // "preprocess" stage, filter methods and Fisher-LDA under "featsel"; the
 // no-op option records nothing.
 func applyFeat(f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
-	t, xTr, err := FitFeat(f, train)
+	return applyFeatCtx(context.Background(), f, train, test)
+}
+
+func applyFeatCtx(ctx context.Context, f Feat, train, test *dataset.Dataset) (xTr, xTe [][]float64, err error) {
+	t, xTr, err := FitFeatCtx(ctx, f, train)
 	if err != nil {
 		return nil, nil, err
 	}
-	return xTr, t.Apply(test.X), nil
+	return xTr, t.ApplyCtx(ctx, test.X), nil
 }
 
 // ClassifierSurface is the exposed tuning surface of one classifier on a

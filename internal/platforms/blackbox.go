@@ -1,6 +1,8 @@
 package platforms
 
 import (
+	"context"
+
 	"mlaasbench/internal/classifiers"
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/pipeline"
@@ -48,11 +50,17 @@ func (b *blackBox) BaselineClassifier() string { return "" }
 // internal validation fold (with the linear default retained unless the
 // non-linear candidate clearly wins).
 func (b *blackBox) choose(train *dataset.Dataset, r *rng.RNG) pipeline.Config {
+	return b.chooseCtx(context.Background(), train, r)
+}
+
+// chooseCtx is choose threaded through a context so the probe's internal
+// fits land in the caller's trace. The RNG streams are identical to choose.
+func (b *blackBox) chooseCtx(ctx context.Context, train *dataset.Dataset, r *rng.RNG) pipeline.Config {
 	linearCfg := b.candidate(b.linearName)
 	nonLinearCfg := b.candidate(b.nonLinearName)
 	sp := train.StratifiedSplit(0.7, r.Split("probe-split"))
-	linRes, errLin := pipeline.Run(linearCfg, sp.Train, sp.Test, r.Split("probe-lin"))
-	nonRes, errNon := pipeline.Run(nonLinearCfg, sp.Train, sp.Test, r.Split("probe-non"))
+	linRes, errLin := pipeline.RunCtx(ctx, linearCfg, sp.Train, sp.Test, r.Split("probe-lin"), nil)
+	nonRes, errNon := pipeline.RunCtx(ctx, nonLinearCfg, sp.Train, sp.Test, r.Split("probe-non"), nil)
 	switch {
 	case errLin != nil && errNon != nil:
 		return linearCfg
@@ -77,10 +85,17 @@ func (b *blackBox) candidate(name string) pipeline.Config {
 
 // Run implements Platform. The user config is ignored: the service accepts
 // only the dataset, like the real 1-click APIs.
-func (b *blackBox) Run(_ pipeline.Config, train, test *dataset.Dataset, seed uint64) (pipeline.Result, error) {
+func (b *blackBox) Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64) (pipeline.Result, error) {
+	return b.RunCtx(context.Background(), cfg, train, test, seed, nil)
+}
+
+// RunCtx implements ContextRunner. The cache is ignored: the black boxes
+// expose no FEAT dimension and their hidden probe depends on the seed, so
+// there is nothing split-cacheable.
+func (b *blackBox) RunCtx(ctx context.Context, _ pipeline.Config, train, test *dataset.Dataset, seed uint64, _ *pipeline.FeatCache) (pipeline.Result, error) {
 	r := runRNG(b.name, train.Name, seed)
-	cfg := b.choose(train, r.Split("choose"))
-	res, err := pipeline.Run(cfg, train, test, r.Split("final"))
+	cfg := b.chooseCtx(ctx, train, r.Split("choose"))
+	res, err := pipeline.RunCtx(ctx, cfg, train, test, r.Split("final"), nil)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
@@ -103,10 +118,15 @@ func (b *blackBox) PredictPoints(_ pipeline.Config, train *dataset.Dataset, poin
 // exactly the one PredictPoints consumes ("choose" then "final"), so the
 // fitted model — including which family the probe picked — predicts
 // byte-identically to the refit path.
-func (b *blackBox) Fit(_ pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+func (b *blackBox) Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	return b.FitCtx(context.Background(), cfg, train, seed)
+}
+
+// FitCtx implements ContextFitter.
+func (b *blackBox) FitCtx(ctx context.Context, _ pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
 	r := runRNG(b.name, train.Name, seed)
-	cfg := b.choose(train, r.Split("choose"))
-	return pipeline.Fit(cfg, train, r.Split("final"))
+	cfg := b.chooseCtx(ctx, train, r.Split("choose"))
+	return pipeline.FitCtx(ctx, cfg, train, r.Split("final"))
 }
 
 // ChosenFamily exposes whether the hidden probe picks the non-linear

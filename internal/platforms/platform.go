@@ -20,6 +20,7 @@
 package platforms
 
 import (
+	"context"
 	"fmt"
 
 	"mlaasbench/internal/dataset"
@@ -74,6 +75,29 @@ type FittedModel interface {
 // removes redundant fitting, never changes what is fitted.
 type CachedRunner interface {
 	RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error)
+}
+
+// ContextRunner is the optional trace-aware path: RunCached threaded
+// through a context so pipeline stage timings become spans in the caller's
+// trace tree and land in the caller's registry. cache may be nil (black
+// boxes ignore it — they have nothing split-cacheable). The measurements
+// must be identical to Run/RunCached with the same arguments; the context
+// only routes telemetry, never randomness.
+type ContextRunner interface {
+	RunCtx(ctx context.Context, cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error)
+}
+
+// ContextFitter is the optional trace-aware Fit, used by the serving layer
+// so model fits show up inside the request's trace.
+type ContextFitter interface {
+	FitCtx(ctx context.Context, cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error)
+}
+
+// ContextPredictor is the optional trace-aware forward pass on a fitted
+// model: per-stage timings (preprocess/featsel/predict) become spans in the
+// serving request's trace instead of standalone histogram observations.
+type ContextPredictor interface {
+	PredictCtx(ctx context.Context, points [][]float64) []int
 }
 
 // Names lists the platforms in complexity order (Figure 4's x-axis).
@@ -149,10 +173,15 @@ func (u *userPlatform) Run(cfg pipeline.Config, train, test *dataset.Dataset, se
 // RunCached implements CachedRunner: identical to Run, with FEAT transforms
 // fitted at most once per (split, option) via the cache.
 func (u *userPlatform) RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
+	return u.RunCtx(context.Background(), cfg, train, test, seed, cache)
+}
+
+// RunCtx implements ContextRunner.
+func (u *userPlatform) RunCtx(ctx context.Context, cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
 	if err := u.validate(cfg); err != nil {
 		return pipeline.Result{}, err
 	}
-	return pipeline.RunWithCache(cfg, train, test, runRNG(u.name, train.Name, seed), cache)
+	return pipeline.RunCtx(ctx, cfg, train, test, runRNG(u.name, train.Name, seed), cache)
 }
 
 func (u *userPlatform) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, points [][]float64, seed uint64) ([]int, error) {
@@ -165,10 +194,15 @@ func (u *userPlatform) PredictPoints(cfg pipeline.Config, train *dataset.Dataset
 // Fit implements Platform: validate against the surface, then train the
 // standard pipeline once under the same RNG stream PredictPoints derives.
 func (u *userPlatform) Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	return u.FitCtx(context.Background(), cfg, train, seed)
+}
+
+// FitCtx implements ContextFitter.
+func (u *userPlatform) FitCtx(ctx context.Context, cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
 	if err := u.validate(cfg); err != nil {
 		return nil, err
 	}
-	return pipeline.Fit(cfg, train, runRNG(u.name, train.Name, seed))
+	return pipeline.FitCtx(ctx, cfg, train, runRNG(u.name, train.Name, seed))
 }
 
 // runRNG derives the deterministic RNG for one platform/dataset run.

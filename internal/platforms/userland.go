@@ -1,6 +1,8 @@
 package platforms
 
 import (
+	"context"
+
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/preprocess"
@@ -50,11 +52,21 @@ func (a *Amazon) Run(cfg pipeline.Config, train, test *dataset.Dataset, seed uin
 // matters for correctness too: the embedded userPlatform.RunCached would
 // skip the hidden binning entirely.)
 func (a *Amazon) RunCached(cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
+	return a.RunCtx(context.Background(), cfg, train, test, seed, cache)
+}
+
+// RunCtx implements ContextRunner; same memoization as RunCached, with
+// stage timings routed into the caller's trace and registry.
+func (a *Amazon) RunCtx(ctx context.Context, cfg pipeline.Config, train, test *dataset.Dataset, seed uint64, cache *pipeline.FeatCache) (pipeline.Result, error) {
 	if err := a.validate(cfg); err != nil {
 		return pipeline.Result{}, err
 	}
 	if cache == nil {
-		return a.Run(cfg, train, test, seed)
+		q := a.binner(train)
+		bTrain, bTest := train.Clone(), test.Clone()
+		bTrain.X = q.Transform(train.X)
+		bTest.X = q.Transform(test.X)
+		return pipeline.RunCtx(ctx, cfg, bTrain, bTest, runRNG(a.name, train.Name, seed), nil)
 	}
 	v, err := cache.Memo("amazon/binned", func() (any, error) {
 		q := a.binner(train)
@@ -67,7 +79,7 @@ func (a *Amazon) RunCached(cfg pipeline.Config, train, test *dataset.Dataset, se
 		return pipeline.Result{}, err
 	}
 	binned := v.([2]*dataset.Dataset)
-	return pipeline.Run(cfg, binned[0], binned[1], runRNG(a.name, train.Name, seed))
+	return pipeline.RunCtx(ctx, cfg, binned[0], binned[1], runRNG(a.name, train.Name, seed), nil)
 }
 
 // PredictPoints implements Platform.
@@ -87,13 +99,18 @@ func (a *Amazon) PredictPoints(cfg pipeline.Config, train *dataset.Dataset, poin
 // (As with RunCached, the embedded userPlatform.Fit would skip the hidden
 // binning entirely, so the override is a correctness matter.)
 func (a *Amazon) Fit(cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
+	return a.FitCtx(context.Background(), cfg, train, seed)
+}
+
+// FitCtx implements ContextFitter.
+func (a *Amazon) FitCtx(ctx context.Context, cfg pipeline.Config, train *dataset.Dataset, seed uint64) (FittedModel, error) {
 	if err := a.validate(cfg); err != nil {
 		return nil, err
 	}
 	q := a.binner(train)
 	bTrain := train.Clone()
 	bTrain.X = q.Transform(train.X)
-	fp, err := pipeline.Fit(cfg, bTrain, runRNG(a.name, train.Name, seed))
+	fp, err := pipeline.FitCtx(ctx, cfg, bTrain, runRNG(a.name, train.Name, seed))
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +126,12 @@ type binnedModel struct {
 
 // Predict implements FittedModel.
 func (m *binnedModel) Predict(points [][]float64) []int {
-	return m.fp.Predict(m.q.Transform(points))
+	return m.PredictCtx(context.Background(), points)
+}
+
+// PredictCtx implements ContextPredictor.
+func (m *binnedModel) PredictCtx(ctx context.Context, points [][]float64) []int {
+	return m.fp.PredictCtx(ctx, m.q.Transform(points))
 }
 
 func (*Amazon) binner(train *dataset.Dataset) *preprocess.OneHotBinning {

@@ -26,11 +26,13 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -54,6 +56,8 @@ type Server struct {
 	reg      *telemetry.Registry
 	started  time.Time
 	fits     *modelCache
+	logger   *slog.Logger
+	slowReq  time.Duration
 }
 
 type storedDataset struct {
@@ -108,6 +112,22 @@ func (s *Server) WithRegistry(reg *telemetry.Registry) *Server {
 	return s
 }
 
+// WithLogger attaches a structured logger and returns the server
+// (chainable). When set, every request emits a Debug record stamped with
+// its request and trace ids, and requests slower than the
+// WithSlowRequestThreshold value are escalated to Warn.
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// WithSlowRequestThreshold sets the latency above which a request logs at
+// Warn instead of Debug (chainable). Zero disables slow-request escalation.
+func (s *Server) WithSlowRequestThreshold(d time.Duration) *Server {
+	s.slowReq = d
+	return s
+}
+
 // WithModelCache bounds the fitted-model LRU to n models and returns the
 // server (chainable). Zero disables residency entirely — every predict
 // refits from the model description, the pre-cache behaviour — which is the
@@ -136,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.handlePredict))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
+	mux.HandleFunc("GET /debug/traces/{trace}", s.handleTraceGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -178,6 +200,13 @@ func codeClass(code int) string {
 // instrument wraps a handler with the telemetry middleware. The route label
 // is static per registration; the platform label comes from the request
 // path ("" for platform-less routes).
+//
+// Each request runs under an "http:<route>" span recorded into the server's
+// registry. When the caller sent a Traceparent header the span joins the
+// caller's trace — the cross-process stitch that lets one client retry show
+// up as sibling attempts under one rpc span — and the response echoes the
+// server span's own trace context so callers can look the trace up at
+// /debug/traces/{id}.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get(telemetry.RequestIDHeader)
@@ -185,7 +214,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			reqID = telemetry.NewRequestID()
 		}
 		w.Header().Set(telemetry.RequestIDHeader, reqID)
-		r = r.WithContext(telemetry.WithRequestID(r.Context(), reqID))
+		ctx := telemetry.WithRequestID(r.Context(), reqID)
+		ctx = telemetry.WithRegistry(ctx, s.reg)
+		if tid, sid, ok := telemetry.ParseTraceParent(r.Header.Get(telemetry.TraceParentHeader)); ok {
+			ctx = telemetry.WithRemoteParent(ctx, tid, sid)
+		}
+		ctx, span := telemetry.StartSpan(ctx, "http:"+route)
+		span.SetAttr("route", route).SetAttr("request_id", reqID)
+		if p := r.PathValue("platform"); p != "" {
+			span.SetAttr("platform", p)
+		}
+		w.Header().Set(telemetry.TraceParentHeader, telemetry.FormatTraceParent(span.TraceID(), span.SpanID()))
+		r = r.WithContext(ctx)
 
 		inFlight := s.reg.Gauge("mlaas_http_in_flight")
 		inFlight.Inc()
@@ -194,12 +234,33 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
+		dur := time.Since(start)
+		span.SetAttr("status", fmt.Sprintf("%d", sw.code))
+		if sw.code >= 500 {
+			span.SetError(fmt.Errorf("http %d", sw.code))
+		}
+		span.End()
 		s.reg.Histogram("mlaas_http_request_duration_seconds", "route", route).
-			Observe(time.Since(start).Seconds())
+			Observe(dur.Seconds())
 		s.reg.Counter("mlaas_http_requests_total",
 			"route", route,
 			"platform", r.PathValue("platform"),
 			"class", codeClass(sw.code)).Inc()
+		if s.logger != nil {
+			lvl, msg := slog.LevelDebug, "request"
+			if s.slowReq > 0 && dur >= s.slowReq {
+				lvl, msg = slog.LevelWarn, "slow request"
+			}
+			s.logger.Log(ctx, lvl, msg,
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.code,
+				"duration_ms", float64(dur)/float64(time.Millisecond),
+				"request_id", reqID,
+				"trace_id", span.TraceID(),
+			)
+		}
 	}
 }
 
@@ -213,6 +274,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // p50/p95/p99 per histogram series.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// handleTraceIndex serves the flight recorder's index: one summary line per
+// retained trace, newest first.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, _ *http.Request) {
+	sums := s.reg.Traces().Summaries()
+	if sums == nil {
+		sums = []telemetry.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
+}
+
+// handleTraceGet serves one retained trace as its full span tree.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace")
+	td, ok := s.reg.Traces().Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("trace %q not retained (evicted, sampled out, or never seen)", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
 }
 
 // HealthResponse is the GET /healthz body.
@@ -472,8 +554,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	// surface here, matching the paper's platforms, which likewise failed
 	// at train time. Identical concurrent train requests coalesce into a
 	// single fit.
+	ctx := r.Context()
 	if _, _, err := s.fits.get(modelKey(p.Name(), req.Dataset, cfg, req.Seed), func() (platforms.FittedModel, error) {
-		return p.Fit(cfg, sd.data, req.Seed)
+		return fitInSpan(ctx, p, cfg, sd.data, req.Seed)
 	}); err != nil {
 		s.fail(w, r, http.StatusUnprocessableEntity, "train: %v", err)
 		return
@@ -582,20 +665,52 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// The hot path: resolve the resident fitted model (refitting from the
 	// description only after an eviction or restart) and run a pure forward
 	// pass. The latency histogram splits the two regimes so the cache's
-	// effect is visible per request class.
+	// effect is visible per request class, and the resolve/forward split is
+	// visible as child spans in the request trace.
+	ctx := r.Context()
 	start := time.Now()
+	resCtx, resolve := telemetry.StartSpan(ctx, "model_resolve")
 	fm, refit, err := s.fits.get(modelKey(m.platform, m.datasetID, m.config, m.seed), func() (platforms.FittedModel, error) {
-		return p.Fit(m.config, sd.data, m.seed)
+		return fitInSpan(resCtx, p, m.config, sd.data, m.seed)
 	})
-	if err != nil {
-		s.fail(w, r, http.StatusInternalServerError, "predict: %v", err)
-		return
-	}
-	labels := fm.Predict(req.Instances)
 	path := "forward"
 	if refit {
 		path = "refit"
 	}
+	resolve.SetAttr("path", path)
+	resolve.SetError(err)
+	resolve.End()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	fwdCtx, forward := telemetry.StartSpan(ctx, "forward")
+	var labels []int
+	if cp, ok := fm.(platforms.ContextPredictor); ok {
+		labels = cp.PredictCtx(fwdCtx, req.Instances)
+	} else {
+		labels = fm.Predict(req.Instances)
+	}
+	forward.End()
 	s.reg.Histogram(telemetry.PredictPathHistogram, "path", path).Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, PredictResponse{Labels: labels})
+}
+
+// fitInSpan runs the platform fit inside a "model_fit" child span of ctx,
+// taking the trace-aware fit path when the platform offers one (the
+// pipeline's own "fit"/"preprocess"/"featsel" stage spans nest below it).
+// It only runs for the request that actually fits: coalesced waiters and
+// cache hits never enter the modelCache fill function.
+func fitInSpan(ctx context.Context, p platforms.Platform, cfg pipeline.Config, ds *dataset.Dataset, seed uint64) (platforms.FittedModel, error) {
+	fitCtx, span := telemetry.StartSpan(ctx, "model_fit")
+	var fm platforms.FittedModel
+	var err error
+	if cf, ok := p.(platforms.ContextFitter); ok {
+		fm, err = cf.FitCtx(fitCtx, cfg, ds, seed)
+	} else {
+		fm, err = p.Fit(cfg, ds, seed)
+	}
+	span.SetError(err)
+	span.End()
+	return fm, err
 }

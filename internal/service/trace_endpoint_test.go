@@ -1,0 +1,81 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// TestDebugTracesEndpoints drives one train+predict round trip and then
+// reads the flight recorder back over HTTP: /debug/traces must index the
+// handler traces, /debug/traces/{id} must return the full span tree, and a
+// bogus id must 404.
+func TestDebugTracesEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).WithRegistry(reg).Handler())
+	defer srv.Close()
+	c := client.New(srv.URL)
+
+	split := dataset.Split{
+		Train: &dataset.Dataset{Name: "tr", X: [][]float64{{-1}, {-2}, {1}, {2}}, Y: []int{0, 0, 1, 1}},
+		Test:  &dataset.Dataset{Name: "te", X: [][]float64{{-3}, {3}}, Y: []int{0, 1}},
+	}
+	if _, err := c.Measure(context.Background(), "google", split, pipeline.Config{}, 1); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces: %v", err)
+	}
+	var index []telemetry.TraceSummary
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatalf("decode index: %v", err)
+	}
+	_ = resp.Body.Close()
+	if len(index) < 3 {
+		t.Fatalf("index has %d traces, want at least upload+train+predict", len(index))
+	}
+	names := map[string]bool{}
+	for _, s := range index {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"http:upload", "http:train", "http:predict"} {
+		if !names[want] {
+			t.Errorf("index lacks %s; got %v", want, names)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/" + index[0].TraceID)
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	var td telemetry.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	_ = resp.Body.Close()
+	if td.TraceID != index[0].TraceID {
+		t.Errorf("trace id %q, want %q", td.TraceID, index[0].TraceID)
+	}
+	if td.Root.SpanID == "" || td.Root.Name == "" {
+		t.Errorf("trace root not populated: %+v", td.Root)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatalf("GET missing trace: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing trace returned %d, want 404", resp.StatusCode)
+	}
+}

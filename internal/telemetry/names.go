@@ -34,6 +34,13 @@ const (
 	// path="refit" paid for a model fit first (cache miss, post-eviction
 	// refill, or a coalesced wait on another request's fit).
 	PredictPathHistogram = "mlaas_predict_path_duration_seconds"
+
+	// Traces* count flight-recorder admissions: kept (labeled by reason:
+	// "error", "slowest", "sampled"), dropped (sampled out), and evicted
+	// (pushed out of the ring FIFO by a newer trace).
+	TracesKeptTotal    = "mlaas_traces_kept_total"
+	TracesDroppedTotal = "mlaas_traces_dropped_total"
+	TracesEvictedTotal = "mlaas_traces_evicted_total"
 )
 
 func init() {
@@ -46,4 +53,7 @@ func init() {
 	Default().Describe(ModelCacheEvictions, "Fitted models evicted from the LRU (refit on next use).")
 	Default().Describe(ModelCacheCoalesced, "Requests that waited on an identical in-flight fit.")
 	Default().Describe(PredictPathHistogram, "Predict latency split by serving path (forward vs refit).")
+	Default().Describe(TracesKeptTotal, "Traces admitted to the flight recorder, by keep reason.")
+	Default().Describe(TracesDroppedTotal, "Traces rejected by tail sampling.")
+	Default().Describe(TracesEvictedTotal, "Kept traces evicted FIFO by ring overflow.")
 }

@@ -43,6 +43,22 @@ var DefBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// FineBuckets extend DefBuckets down to 5µs. The fit-once serving path
+// answers forward-pass predicts in tens of microseconds; under DefBuckets
+// every such observation lands in the first bucket and the quantiles
+// collapse to ~100µs. The stage and predict-path families use these.
+var FineBuckets = append([]float64{
+	0.000005, 0.00001, 0.000025, 0.00005,
+}, DefBuckets...)
+
+// FamilyBuckets overrides the bucket bounds Histogram() uses for specific
+// families. Consulted only when the family is first created; explicit
+// HistogramBuckets calls bypass it.
+var FamilyBuckets = map[string][]float64{
+	StageHistogram:       FineBuckets,
+	PredictPathHistogram: FineBuckets,
+}
+
 // Counter is a monotonically increasing counter.
 type Counter struct{ v atomic.Int64 }
 
@@ -202,6 +218,7 @@ type Registry struct {
 	mu          sync.Mutex
 	families    map[string]*family
 	pendingHelp map[string]string // Describe calls before the family exists
+	traces      *TraceBuffer      // flight recorder; lazily built (tracebuf.go)
 }
 
 // NewRegistry returns an empty registry.
@@ -286,9 +303,14 @@ func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 }
 
 // Histogram returns (creating if needed) the histogram for name + label
-// pairs, with DefBuckets bounds.
+// pairs. Bounds come from FamilyBuckets when the family has an override,
+// DefBuckets otherwise.
 func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
-	return r.HistogramBuckets(name, DefBuckets, labelPairs...)
+	bounds := DefBuckets
+	if b, ok := FamilyBuckets[name]; ok {
+		bounds = b
+	}
+	return r.HistogramBuckets(name, bounds, labelPairs...)
 }
 
 // HistogramBuckets is Histogram with explicit bucket bounds. Bounds are
