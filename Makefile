@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
 	./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench bench-quick loadgen-smoke trace-smoke
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke
 
 all: check
 
@@ -29,7 +29,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race loadgen-smoke trace-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -54,3 +54,11 @@ bench:
 # time goes.
 bench-quick:
 	$(GO) run ./cmd/mlaas-bench -datasets 5 table2 timecost
+
+# One-iteration smoke of the batch compute kernels (blocked GEMM, batch
+# forward pass, batched distances): proves the benchmarks still compile and
+# run, not a measurement. Real numbers (-benchtime=1s interleaved A/B) are
+# committed as BENCH_PR5.json; method in EXPERIMENTS.md.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkGEMM$$|MLPForwardBatch|KNNPredictBatch' \
+		-benchtime 1x ./internal/linalg ./internal/classifiers

@@ -18,6 +18,11 @@
 //	-seed S               measurement seed
 //	-workers N            sweep worker pool size (default: all CPUs; 1 = serial).
 //	                      Any worker count produces byte-identical measurements.
+//	-shards N             row shards per predict stage (default 1 = serial;
+//	                      0 = one per CPU). The pool already saturates the
+//	                      cores, so raise this only for low-config sweeps
+//	                      with huge test sets. Predictions are byte-identical
+//	                      at any shard count.
 //	-cache FILE           persist/reuse the sweep's raw measurements
 //	-v                    progress logging
 //	-progress             repaint a live done/total/rate/ETA line on stderr
@@ -47,6 +52,7 @@ import (
 
 	"mlaasbench/internal/classifiers"
 	"mlaasbench/internal/core"
+	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
 	"mlaasbench/internal/synth"
@@ -65,6 +71,7 @@ func main() {
 	maxDatasets := flag.Int("datasets", 0, "limit corpus size (0 = all 119)")
 	seed := flag.Uint64("seed", synth.CorpusSeed, "measurement seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "sweep worker pool size (1 = serial)")
+	shards := flag.Int("shards", 1, "row shards per predict stage (1 = serial, 0 = one per CPU)")
 	verbose := flag.Bool("v", false, "progress logging")
 	cache := flag.String("cache", "", "sweep cache file: load if present, else run and save")
 	telemetrySummary := flag.Bool("telemetry", true, "print telemetry summary (stage latencies, counters) to stderr at exit")
@@ -72,6 +79,12 @@ func main() {
 	progressAddr := flag.String("progress-addr", "", "serve sweep progress as JSON at this address under /progress")
 	traceOut := flag.String("trace-out", "", "export retained traces as JSONL here at exit (analyse with mlaas-trace)")
 	flag.Parse()
+
+	// Kernel durations land in the default registry so the -telemetry
+	// summary shows where GEMM/distance time goes across the sweep.
+	linalg.SetKernelHook(func(kernel string, seconds float64) {
+		telemetry.Default().Histogram(telemetry.KernelHistogram, "kernel", kernel).Observe(seconds)
+	})
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -107,6 +120,7 @@ func main() {
 			MaxDatasets:      *maxDatasets,
 			StorePredictions: true,
 			Workers:          *workers,
+			PredictShards:    *shards,
 			Tracker:          tracker,
 		}
 		if *verbose {

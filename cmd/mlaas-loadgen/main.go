@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	mlaas-loadgen [-clients 4] [-batch 64] [-duration 3s] [-platform local]
-//	              [-classifier mlp] [-feat scaler:standard] [-seed 1]
-//	              [-cache 128] [-url http://host:8080] [-out BENCH.json]
+//	mlaas-loadgen [-clients 4] [-batch 64] [-shards 0] [-duration 3s]
+//	              [-platform local] [-classifier mlp] [-feat scaler:standard]
+//	              [-seed 1] [-cache 128] [-url http://host:8080] [-out BENCH.json]
+//
+// -batch sets the exact instance count per predict request (test rows are
+// tiled when the request is larger than the test set), exercising the
+// server's row-sharded batch forward path; reports include per-row latency
+// alongside per-request. -shards bounds the in-process servers' forward
+// fan-out (0 = one shard per CPU, 1 = serial).
 //
 // With -url empty (the default) the generator runs fully in-process: it
 // starts two httptest servers — one with the model cache disabled (the
@@ -32,6 +38,7 @@ import (
 
 	"mlaasbench/internal/client"
 	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
@@ -51,6 +58,10 @@ type PassReport struct {
 	P50Ms       float64 `json:"p50_ms"`
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+	// RowMeanMs / RowP95Ms are the per-request latencies divided by the
+	// batch size — the cost of one prediction inside a batched request.
+	RowMeanMs float64 `json:"row_mean_ms"`
+	RowP95Ms  float64 `json:"row_p95_ms"`
 }
 
 // Report is the JSON artifact (e.g. BENCH_PR3.json).
@@ -76,7 +87,8 @@ func main() {
 		classifier = flag.String("classifier", "mlp", "classifier name")
 		feat       = flag.String("feat", "", `FEAT option as kind[:name], e.g. "scaler:standard"; empty for none`)
 		clients    = flag.Int("clients", 4, "concurrent closed-loop clients")
-		batch      = flag.Int("batch", 64, "instances per predict request")
+		batch      = flag.Int("batch", 64, "instances per predict request (test rows tile to reach it)")
+		shards     = flag.Int("shards", 0, "predict shards for in-process servers (0 = one per CPU, 1 = serial)")
 		duration   = flag.Duration("duration", 3*time.Second, "measured duration per pass")
 		seed       = flag.Uint64("seed", 1, "training seed")
 		cache      = flag.Int("cache", service.DefaultModelCacheModels, "model-cache size for the forward pass (in-process mode)")
@@ -135,6 +147,7 @@ func main() {
 			srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).
 				WithRegistry(reg).
 				WithModelCache(arm.cache).
+				WithPredictShards(*shards).
 				Handler())
 			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, reg)
 			srv.Close()
@@ -212,12 +225,17 @@ func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, 
 	if err != nil {
 		return PassReport{}, fmt.Errorf("train: %w", err)
 	}
+	// Kernel timings land in this pass's registry for the duration of the
+	// pass: the in-process server shares the process, so its GEMM/distance
+	// kernels are observable per pass without touching the Default registry.
+	// Passes run sequentially, so the process-wide hook swap is safe.
+	linalg.SetKernelHook(func(kernel string, seconds float64) {
+		reg.Histogram(telemetry.KernelHistogram, "kernel", kernel).Observe(seconds)
+	})
+	defer linalg.SetKernelHook(nil)
 	// One warm-up predict per pass keeps connection setup and (for the
 	// forward arm) the initial fit out of the measured window.
-	instances := sp.Test.X
-	if len(instances) > batch {
-		instances = instances[:batch]
-	}
+	instances := tileInstances(sp.Test.X, batch)
 	if _, err := c.Predict(ctx, platform, modelID, instances); err != nil {
 		return PassReport{}, fmt.Errorf("warm-up predict: %w", err)
 	}
@@ -265,6 +283,7 @@ func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, 
 	for _, v := range latencies {
 		sum += v
 	}
+	rows := float64(len(instances))
 	return PassReport{
 		Name:        name,
 		Requests:    n,
@@ -276,7 +295,27 @@ func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, 
 		P50Ms:       quantile(latencies, 0.50),
 		P95Ms:       quantile(latencies, 0.95),
 		P99Ms:       quantile(latencies, 0.99),
+		RowMeanMs:   sum / float64(n) / rows,
+		RowP95Ms:    quantile(latencies, 0.95) / rows,
 	}, nil
+}
+
+// tileInstances returns exactly batch query rows, repeating the test rows
+// cyclically when the requested batch outgrows the test set — so -batch
+// always means what it says and large batches genuinely exercise the
+// sharded forward path.
+func tileInstances(rows [][]float64, batch int) [][]float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch <= len(rows) {
+		return rows[:batch]
+	}
+	out := make([][]float64, batch)
+	for i := range out {
+		out[i] = rows[i%len(rows)]
+	}
+	return out
 }
 
 // quantile reads the q-th quantile from an ascending-sorted slice.
@@ -301,8 +340,8 @@ func printSummary(rep Report) {
 	fmt.Printf("workload: %s %s on %dx%d points, %d clients, batch %d\n",
 		rep.Platform, rep.Config, rep.DatasetN, rep.DatasetD, rep.Clients, rep.Batch)
 	for _, p := range rep.Passes {
-		fmt.Printf("  %-8s %6d reqs (%d errs) in %5.2fs  %8.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
-			p.Name, p.Requests, p.Errors, p.DurationSec, p.ReqPerSec, p.P50Ms, p.P95Ms, p.P99Ms)
+		fmt.Printf("  %-8s %6d reqs (%d errs) in %5.2fs  %8.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  row mean %.4fms  row p95 %.4fms\n",
+			p.Name, p.Requests, p.Errors, p.DurationSec, p.ReqPerSec, p.P50Ms, p.P95Ms, p.P99Ms, p.RowMeanMs, p.RowP95Ms)
 	}
 	if rep.SpeedupRPS > 0 {
 		fmt.Printf("  forward vs refit speedup: %.1fx req/s\n", rep.SpeedupRPS)

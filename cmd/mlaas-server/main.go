@@ -3,8 +3,12 @@
 // Usage:
 //
 //	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
-//	             [-log-format text|json] [-log-level debug|info|warn|error]
-//	             [-slow-request 250ms]
+//	             [-predict-shards 0] [-log-format text|json]
+//	             [-log-level debug|info|warn|error] [-slow-request 250ms]
+//
+// -predict-shards splits each predict request's forward pass across that
+// many row shards (0 = one per CPU, 1 = serial). Predictions are
+// byte-identical at any setting; only latency changes.
 //
 // The API mirrors the 2016-era services the paper measured:
 //
@@ -44,7 +48,9 @@ import (
 	"os/signal"
 	"time"
 
+	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +59,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this private address (e.g. 127.0.0.1:6060); empty disables")
 	modelCache := flag.Int("model-cache", service.DefaultModelCacheModels,
 		"max fitted models kept resident (LRU); 0 disables the cache and refits per predict")
+	predictShards := flag.Int("predict-shards", 0,
+		"row shards per predict request's forward pass (0 = one per CPU, 1 = serial); predictions are byte-identical at any setting")
 	logFormat := flag.String("log-format", "text", "structured request log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	slowReq := flag.Duration("slow-request", 250*time.Millisecond,
@@ -67,10 +75,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("mlaas-server: %v", err)
 	}
+	// Kernel durations feed the same registry /metrics scrapes, so GEMM
+	// and distance time per predict shows up next to the stage histograms.
+	linalg.SetKernelHook(func(kernel string, seconds float64) {
+		telemetry.Default().Histogram(telemetry.KernelHistogram, "kernel", kernel).Observe(seconds)
+	})
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewServer(logf).
 			WithModelCache(*modelCache).
+			WithPredictShards(*predictShards).
 			WithLogger(logger).
 			WithSlowRequestThreshold(*slowReq).
 			Handler(),

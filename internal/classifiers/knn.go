@@ -25,18 +25,23 @@ type KNN struct {
 	params Params
 	x      [][]float64
 	y      []int
+	// xm is the training set packed contiguous row-major at fit time, so
+	// the Euclidean predict path can run the blocked distance kernel.
+	xm *linalg.Matrix
 }
 
 // Name implements Classifier.
 func (*KNN) Name() string { return "knn" }
 
-// Fit implements Classifier. KNN is a lazy learner: Fit stores the data.
+// Fit implements Classifier. KNN is a lazy learner: Fit stores the data
+// (plus a contiguous copy for the batched distance kernel).
 func (k *KNN) Fit(x [][]float64, y []int, _ *rng.RNG) error {
 	if _, _, err := validateFit(x, y); err != nil {
 		return err
 	}
 	k.x = x
 	k.y = y
+	k.xm = linalg.FromRows(x)
 	return nil
 }
 
@@ -61,6 +66,10 @@ func (k *KNN) Predict(x [][]float64) []int {
 
 	out := make([]int, len(x))
 	h := newKHeap(kk)
+	if p == 2 && k.xm != nil && k.xm.Rows > 0 {
+		k.predictEuclidean(x, out, h, distWeighted)
+		return out
+	}
 	for qi, q := range x {
 		h.reset()
 		for i, row := range k.x {
@@ -72,19 +81,54 @@ func (k *KNN) Predict(x [][]float64) []int {
 			}
 			h.offer(dist, i)
 		}
-		var votes [2]float64
-		for j := 0; j < len(h.dist); j++ {
-			wgt := 1.0
-			if distWeighted {
-				wgt = 1 / (h.dist[j] + 1e-9)
-			}
-			votes[k.y[h.idx[j]]] += wgt
-		}
-		if votes[1] > votes[0] {
-			out[qi] = 1
-		}
+		out[qi] = h.vote(k.y, distWeighted)
 	}
 	return out
+}
+
+// knnQueryBlock bounds the distance-buffer footprint: one block of query
+// rows is scored against every training row per kernel call, so the tile
+// of training rows the kernel keeps cache-resident is reused across the
+// whole block instead of one query.
+const knnQueryBlock = 32
+
+// predictEuclidean is the p=2 fast path: query blocks stream through the
+// blocked SquaredEuclideanBatch kernel into a reused buffer, then each
+// query's distance row feeds the same bounded-k heap in ascending training
+// index — the kernel is bit-identical to per-pair SquaredEuclidean and the
+// offer order is unchanged, so the selected neighbour set (including index
+// tie-breaks) and the votes match the scalar path exactly.
+func (k *KNN) predictEuclidean(x [][]float64, out []int, h *kHeap, distWeighted bool) {
+	n := k.xm.Rows
+	buf := make([]float64, min(knnQueryBlock, len(x))*n)
+	for q0 := 0; q0 < len(x); q0 += knnQueryBlock {
+		q1 := min(q0+knnQueryBlock, len(x))
+		qs := x[q0:q1]
+		d := buf[:len(qs)*n]
+		linalg.SquaredEuclideanBatch(d, qs, k.xm)
+		for qi := range qs {
+			h.reset()
+			drow := d[qi*n : (qi+1)*n]
+			k0 := min(h.k, n)
+			for i := 0; i < k0; i++ {
+				h.offer(drow[i], i)
+			}
+			// Candidates arrive in ascending training index, so every index
+			// from here on loses the (dist, idx) tie-break against anything
+			// already in the heap: a full heap rejects exactly dist >= worst.
+			// The inline check skips the non-inlined offer call for the vast
+			// majority of rows — the heap only sees the same offers it would
+			// have accepted, so the selected set is unchanged.
+			worst := h.dist[0]
+			for i := k0; i < n; i++ {
+				if dist := drow[i]; dist < worst {
+					h.offer(dist, i)
+					worst = h.dist[0]
+				}
+			}
+			out[q0+qi] = h.vote(k.y, distWeighted)
+		}
+	}
 }
 
 // kHeap keeps the k nearest (distance, training index) pairs seen so far as
@@ -132,6 +176,23 @@ func (h *kHeap) offer(dist float64, idx int) {
 	}
 	h.dist[0], h.idx[0] = dist, idx
 	h.siftDown(0)
+}
+
+// vote tallies the selected neighbours' labels (uniform or inverse-distance
+// weighted) and returns the winning class.
+func (h *kHeap) vote(y []int, distWeighted bool) int {
+	var votes [2]float64
+	for j := 0; j < len(h.dist); j++ {
+		wgt := 1.0
+		if distWeighted {
+			wgt = 1 / (h.dist[j] + 1e-9)
+		}
+		votes[y[h.idx[j]]] += wgt
+	}
+	if votes[1] > votes[0] {
+		return 1
+	}
+	return 0
 }
 
 func (h *kHeap) swap(a, b int) {

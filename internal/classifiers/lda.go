@@ -115,23 +115,25 @@ func (l *LDA) solveEigen(sigma *linalg.Matrix, diff []float64) []float64 {
 	if len(vals) > 0 && vals[0] > 0 {
 		floor = vals[0] * 1e-9
 	}
+	vk := make([]float64, vecs.Rows) // one column buffer reused across k
 	for k := 0; k < d; k++ {
 		ev := vals[k]
 		if ev < floor {
 			ev = floor
 		}
-		vk := vecs.Col(k)
+		linalg.ColInto(vk, vecs, k)
 		coef := linalg.Dot(vk, diff) / ev
 		linalg.AXPY(coef, vk, w)
 	}
 	return w
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier. The fused DotBias kernel rounds exactly
+// like Dot(w, row) + bias, so predictions are unchanged.
 func (l *LDA) Predict(x [][]float64) []int {
 	out := make([]int, len(x))
 	for i, row := range x {
-		if linalg.Dot(l.w, row)+l.bias > 0 {
+		if linalg.DotBias(l.bias, l.w, row) > 0 {
 			out[i] = 1
 		}
 	}

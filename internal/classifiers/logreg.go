@@ -200,11 +200,12 @@ func (l *LogisticRegression) loss(x [][]float64, y []int, lambda float64, penalt
 	return loss + lambda*reg
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier. The fused DotBias kernel rounds exactly
+// like Dot(w, row) + b, so predictions are unchanged.
 func (l *LogisticRegression) Predict(x [][]float64) []int {
 	out := make([]int, len(x))
 	for i, row := range x {
-		if linalg.Dot(l.w, row)+l.b > 0 {
+		if linalg.DotBias(l.b, l.w, row) > 0 {
 			out[i] = 1
 		}
 	}

@@ -32,6 +32,28 @@ type MLP struct {
 	b1 []float64
 	w2 []float64
 	b2 float64
+	// w1flat is w1's contiguous backing array, kept so Predict can wrap the
+	// weights as a row-major matrix for the batch GEMM without copying.
+	w1flat []float64
+}
+
+// Hidden-activation kinds, resolved once per fit/predict instead of
+// string-switching per (sample, unit).
+const (
+	actReLU = iota
+	actTanh
+	actLogistic
+)
+
+func actKindOf(activation string) int {
+	switch activation {
+	case "tanh":
+		return actTanh
+	case "logistic":
+		return actLogistic
+	default:
+		return actReLU
+	}
 }
 
 // Name implements Classifier.
@@ -68,6 +90,7 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 		m.w1[h] = row
 		m.w2[h] = r.NormFloat64() * math.Sqrt(2/float64(hidden))
 	}
+	m.w1flat = w1backing // rows alias it, so trained values stay current
 	m.b2 = 0
 
 	// Adam state.
@@ -98,18 +121,7 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 	// per sample and the call overhead is the single largest cost of the
 	// whole fit. The arithmetic is kept expression-for-expression identical
 	// to the closure form, so trained weights are bit-identical.
-	const (
-		actReLU = iota
-		actTanh
-		actLogistic
-	)
-	actKind := actReLU
-	switch activation {
-	case "tanh":
-		actKind = actTanh
-	case "logistic":
-		actKind = actLogistic
-	}
+	actKind := actKindOf(activation)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -207,31 +219,83 @@ func (m *MLP) Fit(x [][]float64, y []int, r *rng.RNG) error {
 	return nil
 }
 
-// Predict implements Classifier.
+// mlpRowBlock is how many request rows stream through the batch forward
+// pass at a time: one X tile plus one pre-activation tile stay resident in
+// L2 and are reused for every block, so a request of any size costs two
+// small fixed buffers instead of a full-batch copy.
+const mlpRowBlock = 128
+
+// Predict implements Classifier. The forward pass is batched: request rows
+// stream in blocks through one contiguous row-major tile, the hidden layer
+// is an X·W₁ᵀ GEMM per tile (the weights wrap their existing backing array,
+// no copy), followed by an element-wise bias+activation pass with the
+// activation kind resolved once, and a fused DotFrom per row for the output
+// unit. Every accumulation keeps the per-sample scalar order — ascending
+// feature index for the dot, bias seeded first for the output layer — so
+// predictions are bit-identical to the historical row-at-a-time loop.
 func (m *MLP) Predict(x [][]float64) []int {
-	hidden := len(m.w1)
-	activation := m.params.String("activation", "relu")
 	out := make([]int, len(x))
-	for i, row := range x {
-		z2 := m.b2
-		for h := 0; h < hidden; h++ {
-			z := linalg.Dot(m.w1[h], row) + m.b1[h]
-			var a float64
-			switch activation {
-			case "tanh":
-				a = math.Tanh(z)
-			case "logistic":
-				a = linalg.Sigmoid(z)
-			default:
-				if z > 0 {
-					a = z
+	hidden := len(m.w1)
+	if len(x) == 0 {
+		return out
+	}
+	if hidden == 0 {
+		// Unfitted: the scalar loop reduced to sign(b2) for every row.
+		if m.b2 > 0 {
+			for i := range out {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	actKind := actKindOf(m.params.String("activation", "relu"))
+	wm := m.weightMatrix()
+	d := wm.Cols
+	blk := min(mlpRowBlock, len(x))
+	xb := linalg.NewMatrix(blk, d)
+	zb := linalg.NewMatrix(blk, hidden)
+	for lo := 0; lo < len(x); lo += blk {
+		hi := min(lo+blk, len(x))
+		rows := hi - lo
+		xt := &linalg.Matrix{Rows: rows, Cols: d, Data: xb.Data[:rows*d]}
+		for i := lo; i < hi; i++ {
+			copy(xt.Data[(i-lo)*d:(i-lo+1)*d], x[i][:d])
+		}
+		zt := linalg.MulTransBInto(&linalg.Matrix{Rows: rows, Cols: hidden, Data: zb.Data[:rows*hidden]}, xt, wm)
+		for r := 0; r < rows; r++ {
+			zi := zt.Row(r)
+			b1 := m.b1[:len(zi)]
+			for h, zh := range zi {
+				zv := zh + b1[h]
+				switch actKind {
+				case actTanh:
+					zi[h] = math.Tanh(zv)
+				case actLogistic:
+					zi[h] = linalg.Sigmoid(zv)
+				default:
+					if zv > 0 {
+						zi[h] = zv
+					} else {
+						zi[h] = 0
+					}
 				}
 			}
-			z2 += m.w2[h] * a
-		}
-		if z2 > 0 {
-			out[i] = 1
+			if linalg.DotFrom(m.b2, m.w2, zi) > 0 {
+				out[lo+r] = 1
+			}
 		}
 	}
 	return out
+}
+
+// weightMatrix wraps w1 as a row-major matrix. The flat backing from Fit is
+// aliased (zero-copy); a model assembled row-by-row (e.g. in tests) falls
+// back to a copy.
+func (m *MLP) weightMatrix() *linalg.Matrix {
+	hidden := len(m.w1)
+	d := len(m.w1[0])
+	if len(m.w1flat) == hidden*d {
+		return &linalg.Matrix{Rows: hidden, Cols: d, Data: m.w1flat}
+	}
+	return linalg.FromRows(m.w1)
 }

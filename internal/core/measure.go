@@ -38,6 +38,12 @@ type Options struct {
 	// config), so results do not depend on execution order, and the engine
 	// merges them back into corpus order.
 	Workers int
+	// PredictShards bounds how many goroutines each measurement's predict
+	// stage may fan its test rows across (0 = 1 = serial). The sweep pool
+	// already saturates the cores with independent configs, so intra-predict
+	// sharding is opt-in here — useful for low-config, huge-test-set runs.
+	// Predictions are byte-identical at any shard count.
+	PredictShards int
 	// Progress, if non-nil, receives one line per (platform, dataset).
 	// Calls are serialized, but with Workers > 1 their order follows unit
 	// completion, not corpus order.
@@ -335,6 +341,9 @@ func measureOne(ctx context.Context, plan unitPlan, cfg pipeline.Config, sp data
 		unitCache = nil
 	}
 	mctx, span := telemetry.StartSpan(ctx, "measure")
+	if opts.PredictShards > 1 {
+		mctx = pipeline.WithPredictShards(mctx, opts.PredictShards)
+	}
 	span.SetAttr("platform", p.Name()).SetAttr("dataset", dsName)
 	if !plan.blackBox {
 		span.SetAttr("config", cfg.String())

@@ -202,10 +202,15 @@ func (f *FisherLDA) FitTransform(x [][]float64, y []int) [][]float64 {
 }
 
 // Transform projects rows onto the learned direction (1 output feature).
+// The projections share one flat backing array — one allocation for the
+// whole batch instead of a 1-element slice per row; each value is the same
+// ascending-index Dot as before.
 func (f *FisherLDA) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
+	backing := make([]float64, len(x))
 	for i, row := range x {
-		out[i] = []float64{linalg.Dot(f.w, row)}
+		backing[i] = linalg.Dot(f.w, row)
+		out[i] = backing[i : i+1 : i+1]
 	}
 	return out
 }

@@ -1,0 +1,29 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGEMM measures the dense matrix product on a shape typical of a
+// batched forward pass (a request batch against a hidden-layer weight
+// matrix). Mul delegates to the blocked MulInto kernel, so this file also
+// runs unmodified against trees that predate the kernel layer — the A/B
+// harness behind BENCH_PR5.json relies on that.
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const m, k, n = 256, 64, 256
+	a := NewMatrix(m, k)
+	bb := NewMatrix(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range bb.Data {
+		bb.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(bb)
+	}
+}

@@ -75,26 +75,13 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns the matrix product m · other.
+// Mul returns the matrix product m · other via the blocked MulInto kernel;
+// results are bit-identical to the historical naive triple loop.
 func (m *Matrix) Mul(other *Matrix) *Matrix {
 	if m.Cols != other.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
 	}
-	out := NewMatrix(m.Rows, other.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
-		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, mik := range mi {
-			if mik == 0 {
-				continue
-			}
-			ok := other.Data[k*other.Cols : (k+1)*other.Cols]
-			for j, okj := range ok {
-				oi[j] += mik * okj
-			}
-		}
-	}
-	return out
+	return MulInto(NewMatrix(m.Rows, other.Cols), m, other)
 }
 
 // MulVec returns the matrix-vector product m · v.

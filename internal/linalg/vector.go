@@ -137,17 +137,21 @@ func Covariance(x *Matrix, mean []float64) *Matrix {
 	if x.Rows == 0 {
 		return cov
 	}
+	// Center each row once into a scratch buffer, then rank-1 update via
+	// AXPY: identical subtract/multiply/accumulate order to the historical
+	// per-element form (including its zero-deviation row skip), but the
+	// O(d²) recomputation of row[b]-mean[b] drops to O(d) per row.
+	centered := make([]float64, d)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
-		for a := 0; a < d; a++ {
-			da := row[a] - mean[a]
+		for j, v := range row {
+			centered[j] = v - mean[j]
+		}
+		for a, da := range centered {
 			if da == 0 {
 				continue
 			}
-			cd := cov.Row(a)
-			for b := 0; b < d; b++ {
-				cd[b] += da * (row[b] - mean[b])
-			}
+			AXPY(da, centered, cov.Row(a))
 		}
 	}
 	inv := 1 / float64(x.Rows)

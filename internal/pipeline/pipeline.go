@@ -139,7 +139,7 @@ func RunCtx(ctx context.Context, cfg Config, train, test *dataset.Dataset, r *rn
 		return Result{}, fmt.Errorf("pipeline: fit %s on %s: %w", cfg.Classifier, train.Name, err)
 	}
 	stopPredict := telemetry.TimeCtx(ctx, "predict")
-	pred := clf.Predict(xTe)
+	pred := PredictSharded(clf.Predict, xTe, PredictShardsFrom(ctx))
 	stopPredict()
 	stopScore := telemetry.TimeCtx(ctx, "score")
 	scores, err := metrics.Score(test.Y, pred)

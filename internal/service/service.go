@@ -34,6 +34,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,6 +59,9 @@ type Server struct {
 	fits     *modelCache
 	logger   *slog.Logger
 	slowReq  time.Duration
+	// predictShards bounds the goroutines one predict request's forward
+	// pass fans its rows across (0 = one per CPU, 1 = serial).
+	predictShards int
 }
 
 type storedDataset struct {
@@ -137,6 +141,16 @@ func (s *Server) WithModelCache(n int) *Server {
 	return s
 }
 
+// WithPredictShards bounds how many goroutines one predict request's
+// forward pass may fan its instance rows across and returns the server
+// (chainable). Zero (the default) means one shard per CPU; one forces the
+// serial path. Small batches never split regardless (see
+// pipeline.ShardCount), and predictions are byte-identical at any setting.
+func (s *Server) WithPredictShards(n int) *Server {
+	s.predictShards = n
+	return s
+}
+
 // ResidentModels reports how many fitted models the cache currently holds.
 func (s *Server) ResidentModels() int { return s.fits.size() }
 
@@ -171,6 +185,8 @@ func (s *Server) describeMetrics() {
 	s.reg.Describe(telemetry.ModelCacheEvictions, "Fitted models evicted from the LRU (refit on next use).")
 	s.reg.Describe(telemetry.ModelCacheCoalesced, "Requests that waited on an identical in-flight fit.")
 	s.reg.Describe(telemetry.PredictPathHistogram, "Predict latency split by serving path (forward vs refit).")
+	s.reg.Describe(telemetry.PredictBatchSizeHistogram, "Instances per predict request (rows, power-of-two buckets).")
+	s.reg.Describe(telemetry.KernelHistogram, "Batch linalg kernel duration by kernel (gemm, gemm_nt, gemv, distance).")
 }
 
 // statusWriter captures the response status code for metrics.
@@ -684,15 +700,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusInternalServerError, "predict: %v", err)
 		return
 	}
+	// Large batches fan across a bounded set of row shards, each an
+	// independent forward pass over a contiguous instance range stitched
+	// back in input order — byte-identical to the serial pass. Shard spans
+	// attach concurrently to the forward span; the trace tree is
+	// mutex-guarded so that is safe.
 	fwdCtx, forward := telemetry.StartSpan(ctx, "forward")
-	var labels []int
+	shards := pipeline.ShardCount(len(req.Instances), s.predictShards)
+	forward.SetAttr("batch_rows", strconv.Itoa(len(req.Instances))).
+		SetAttr("shards", strconv.Itoa(shards))
+	predict := fm.Predict
 	if cp, ok := fm.(platforms.ContextPredictor); ok {
-		labels = cp.PredictCtx(fwdCtx, req.Instances)
-	} else {
-		labels = fm.Predict(req.Instances)
+		predict = func(points [][]float64) []int { return cp.PredictCtx(fwdCtx, points) }
 	}
+	labels := pipeline.PredictSharded(predict, req.Instances, shards)
 	forward.End()
 	s.reg.Histogram(telemetry.PredictPathHistogram, "path", path).Observe(time.Since(start).Seconds())
+	s.reg.Histogram(telemetry.PredictBatchSizeHistogram).Observe(float64(len(req.Instances)))
 	writeJSON(w, http.StatusOK, PredictResponse{Labels: labels})
 }
 

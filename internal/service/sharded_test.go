@@ -1,0 +1,77 @@
+package service_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// TestShardedPredictMatchesSerial drives the same batch through servers at
+// several predict-shard settings (including the per-CPU default) and
+// requires byte-identical labels, plus a recorded batch-size observation.
+// The per-row reference comes from size-1 requests against the serial
+// server, so the sharded path is also checked against the unbatched one.
+func TestShardedPredictMatchesSerial(t *testing.T) {
+	sp := testSplit(t)
+	ctx := context.Background()
+	cfg := pipeline.Config{Classifier: "mlp", Params: map[string]any{"max_iter": 10}}
+
+	predictAll := func(shards int) ([]int, *telemetry.Registry) {
+		reg := telemetry.NewRegistry()
+		s := service.NewServer(func(string, ...any) {}).WithRegistry(reg).WithPredictShards(shards)
+		srv := httptest.NewServer(s.Handler())
+		defer srv.Close()
+		c := client.New(srv.URL)
+		dsID, err := c.Upload(ctx, "local", sp.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mID, err := c.Train(ctx, "local", dsID, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := c.Predict(ctx, "local", mID, sp.Test.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels, reg
+	}
+
+	serial, _ := predictAll(1)
+	for _, shards := range []int{0, 2, 5} {
+		sharded, reg := predictAll(shards)
+		mustSameLabels(t, "sharded predict", sharded, serial)
+		if n := reg.Histogram(telemetry.PredictBatchSizeHistogram).Count(); n == 0 {
+			t.Fatalf("shards=%d: no batch-size observation recorded", shards)
+		}
+	}
+
+	// Per-row reference: one request per instance on a serial server.
+	reg := telemetry.NewRegistry()
+	s := service.NewServer(func(string, ...any) {}).WithRegistry(reg).WithPredictShards(1)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := client.New(srv.URL)
+	dsID, err := c.Upload(ctx, "local", sp.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mID, err := c.Train(ctx, "local", dsID, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRow := make([]int, 0, len(sp.Test.X))
+	for _, inst := range sp.Test.X {
+		l, err := c.Predict(ctx, "local", mID, [][]float64{inst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRow = append(perRow, l...)
+	}
+	mustSameLabels(t, "per-row vs batched", perRow, serial)
+}

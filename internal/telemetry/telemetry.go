@@ -51,12 +51,18 @@ var FineBuckets = append([]float64{
 	0.000005, 0.00001, 0.000025, 0.00005,
 }, DefBuckets...)
 
+// BatchSizeBuckets are power-of-two count buckets for histograms that
+// observe sizes (rows per request) rather than durations.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
 // FamilyBuckets overrides the bucket bounds Histogram() uses for specific
 // families. Consulted only when the family is first created; explicit
 // HistogramBuckets calls bypass it.
 var FamilyBuckets = map[string][]float64{
-	StageHistogram:       FineBuckets,
-	PredictPathHistogram: FineBuckets,
+	StageHistogram:            FineBuckets,
+	PredictPathHistogram:      FineBuckets,
+	PredictBatchSizeHistogram: BatchSizeBuckets,
+	KernelHistogram:           FineBuckets,
 }
 
 // Counter is a monotonically increasing counter.
