@@ -1,7 +1,8 @@
 # Standard pre-merge gate: `make check` runs vet, the full test suite, the
 # race detector over the concurrency-bearing packages (telemetry, service,
-# client, and the parallel sweep engine in core/pipeline/platforms), and a
-# short loadgen smoke that exercises the serving path end-to-end.
+# client, and the parallel sweep engine in core/pipeline/platforms), a
+# short loadgen smoke that exercises the serving path end-to-end, and a
+# perf-tracking smoke (mlaas-perf run/compare/report against perf/results/).
 # CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
@@ -9,7 +10,7 @@ GO ?= go
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
 	./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke perf-smoke perf-run perf-compare perf-report
 
 all: check
 
@@ -29,7 +30,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race bench-kernels loadgen-smoke trace-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke perf-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -44,6 +45,29 @@ trace-smoke:
 	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s \
 		-trace-out /tmp/mlaas-trace-smoke.jsonl >/dev/null
 	$(GO) run ./cmd/mlaas-trace /tmp/mlaas-trace-smoke.jsonl
+
+# Performance-tracking smoke: one single-iteration pass of the kernel trio
+# through mlaas-perf, then a report-only diff against the committed history
+# in perf/results/ and a trajectory render. Proves the run -> compare ->
+# report loop end to end without gating on numbers (CI machines differ, so
+# the diff is informational here; gate locally with `make perf-compare`).
+perf-smoke:
+	$(GO) run ./cmd/mlaas-perf run -count 1 -benchtime 1x -cv-gate 0 \
+		-no-save -out /tmp/mlaas-perf-smoke.json
+	$(GO) run ./cmd/mlaas-perf compare -candidate /tmp/mlaas-perf-smoke.json -report-only
+	$(GO) run ./cmd/mlaas-perf report >/dev/null
+
+# A real measured run appended to the committed history (5 rounds, CV-gated
+# reruns). Commit the new perf/results/ file with the change it measures.
+perf-run:
+	$(GO) run ./cmd/mlaas-perf run -label $(or $(LABEL),dev)
+
+# Gate: latest committed record vs the one before it; exits 2 on regression.
+perf-compare:
+	$(GO) run ./cmd/mlaas-perf compare
+
+perf-report:
+	$(GO) run ./cmd/mlaas-perf report
 
 # The serial-vs-parallel sweep-engine pair (BenchmarkSweepSerial /
 # BenchmarkSweepParallel4); results are committed as BENCH_*.json.

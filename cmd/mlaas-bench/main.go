@@ -257,6 +257,10 @@ func main() {
 	// pipeable.
 	if *telemetrySummary {
 		fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
+		// Stamp the environment first so any number below is attributable
+		// to the toolchain and machine that produced it.
+		fmt.Fprintf(os.Stderr, "env: %s\n", telemetry.Fingerprint())
+		telemetry.SetBuildInfo(telemetry.Default())
 		telemetry.WriteDefaultSummary(os.Stderr)
 	}
 	if *traceOut != "" {

@@ -6,6 +6,12 @@
 //	mlaas-loadgen [-clients 4] [-batch 64] [-shards 0] [-duration 3s]
 //	              [-platform local] [-classifier mlp] [-feat scaler:standard]
 //	              [-seed 1] [-cache 128] [-url http://host:8080] [-out BENCH.json]
+//	              [-perf-dir perf/results] [-perf-label loadgen]
+//
+// -perf-dir additionally appends the run to the committed perf history in
+// the same record schema mlaas-perf writes, so loadgen throughput and
+// latency trend in `mlaas-perf report -kind loadgen` alongside converted
+// legacy results.
 //
 // -batch sets the exact instance count per predict request (test rows are
 // tiled when the request is larger than the test set), exercising the
@@ -39,6 +45,7 @@ import (
 	"mlaasbench/internal/client"
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/linalg"
+	"mlaasbench/internal/perf"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
@@ -93,6 +100,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "training seed")
 		cache      = flag.Int("cache", service.DefaultModelCacheModels, "model-cache size for the forward pass (in-process mode)")
 		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
+		perfDir    = flag.String("perf-dir", "", "also append this run as a perf history record (same schema as mlaas-perf run) into this directory, e.g. perf/results")
+		perfLabel  = flag.String("perf-label", "loadgen", "label stamped on the perf history record")
 		traceOut   = flag.String("trace-out", "", "export every pass's retained traces as JSONL here (analyse with mlaas-trace)")
 		telSummary = flag.Bool("telemetry", false, "print each pass's telemetry summary to stderr")
 	)
@@ -185,6 +194,34 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *out)
 	}
+	if *perfDir != "" {
+		path, err := perfRecord(rep, *perfLabel).WriteFile(*perfDir)
+		if err != nil {
+			log.Fatalf("loadgen: perf record: %v", err)
+		}
+		fmt.Printf("perf record written to %s\n", path)
+	}
+}
+
+// perfRecord reshapes the report into the append-only perf/results schema.
+// perf.LoadgenResults is shared with the legacy-BENCH converter, so live
+// runs extend the same (name, unit) series the converted history started.
+func perfRecord(rep Report, label string) *perf.Record {
+	rec := &perf.Record{
+		Schema: perf.SchemaVersion,
+		Kind:   perf.KindLoadgen,
+		Label:  label,
+		Time:   time.Now().UTC(),
+		Env:    perf.CurrentEnv(),
+		Source: "mlaas-loadgen " + strings.Join(os.Args[1:], " "),
+		Notes: fmt.Sprintf("closed-loop loadgen: %s %s, %d clients, batch %d",
+			rep.Platform, rep.Config, rep.Clients, rep.Batch),
+	}
+	for _, p := range rep.Passes {
+		rec.Results = append(rec.Results,
+			perf.LoadgenResults("loadgen/"+p.Name, p.ReqPerSec, p.InstPerSec, p.MeanMs, p.P50Ms, p.P95Ms, p.P99Ms)...)
+	}
+	return rec
 }
 
 // exportTraces writes every pass's retained traces to one JSONL file, each

@@ -5,6 +5,7 @@
 //	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
 //	             [-predict-shards 0] [-log-format text|json]
 //	             [-log-level debug|info|warn|error] [-slow-request 250ms]
+//	             [-health-interval 5s]
 //
 // -predict-shards splits each predict request's forward pass across that
 // many row shards (0 = one per CPU, 1 = serial). Predictions are
@@ -24,7 +25,13 @@
 //	GET /metrics.json      snapshot with p50/p95/p99 per histogram
 //	GET /debug/traces      flight-recorder index (retained trace summaries)
 //	GET /debug/traces/{id} one retained trace as its full span tree
-//	GET /healthz           liveness + uptime
+//	GET /healthz           liveness + uptime + build/env fingerprint
+//
+// /metrics additionally carries mlaas_build_info (constant-1 gauge whose
+// labels identify go version, GOMAXPROCS, NumCPU and git SHA) and, when
+// -health-interval > 0, a runtime health sampler: goroutine count, heap
+// in-use, allocation rate, GC cycle count, GC pause histogram and a
+// scheduler-latency proxy (timer overshoot on a 1ms sleep probe).
 //
 // Every request logs one structured record (log/slog) stamped with its
 // request and trace ids; -log-level debug shows them all, and requests
@@ -65,6 +72,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	slowReq := flag.Duration("slow-request", 250*time.Millisecond,
 		"requests slower than this log at Warn; 0 disables the escalation")
+	healthInterval := flag.Duration("health-interval", 5*time.Second,
+		"runtime health sampling interval (goroutines, heap, GC pauses, sched latency); 0 disables the sampler")
 	flag.Parse()
 
 	logf := log.Printf
@@ -80,6 +89,14 @@ func main() {
 	linalg.SetKernelHook(func(kernel string, seconds float64) {
 		telemetry.Default().Histogram(telemetry.KernelHistogram, "kernel", kernel).Observe(seconds)
 	})
+	// Build identity and runtime health ride the same /metrics exposition:
+	// mlaas_build_info pins which binary produced a scrape, the sampler
+	// keeps goroutine/heap/GC-pause series current between requests.
+	telemetry.SetBuildInfo(telemetry.Default())
+	if *healthInterval > 0 {
+		stopHealth := telemetry.StartHealthSampler(telemetry.Default(), *healthInterval)
+		defer stopHealth()
+	}
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewServer(logf).

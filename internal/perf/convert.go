@@ -1,0 +1,187 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Legacy conversion: the BENCH_PR2 / BENCH_PR3 / BENCH_PR5 JSON files
+// were hand-rolled one-offs, each with its own shape. ConvertLegacy
+// sniffs the shape and re-emits the same measurements as schema records,
+// so the tracked history starts with the banked wins instead of empty.
+//
+// The key→benchmark mapping is deliberately a closed table: these three
+// files are the entire legacy corpus, and guessing at unknown keys would
+// fabricate history.
+
+// legacyArm maps one runs_* key to the record arm it belongs to and the
+// canonical benchmark series it measured. Arms become separate records —
+// BENCH_PR2.json interleaved the seed engine and the PR 2 engine, which
+// are different points on the trajectory, not one run.
+type legacyArm struct {
+	arm     string
+	name    string
+	seconds bool // values are s/op (converted to ns/op)
+}
+
+var legacyBenchKeys = map[string]legacyArm{
+	// BENCH_PR2.json (runs_seconds_per_op)
+	"seed_engine":  {"seed", "BenchmarkSweepSerial", true},
+	"pr2_workers1": {"pr2", "BenchmarkSweepSerial", true},
+	"pr2_workers4": {"pr2", "BenchmarkSweepParallel4", true},
+	// BENCH_PR5.json (runs_ns_per_op; *_s keys are seconds)
+	"pr4_mlp_forward_batch": {"pr4", "BenchmarkMLPForwardBatch", false},
+	"pr5_mlp_forward_batch": {"pr5", "BenchmarkMLPForwardBatch", false},
+	"pr4_knn_predict_batch": {"pr4", "BenchmarkKNNPredictBatch", false},
+	"pr5_knn_predict_batch": {"pr5", "BenchmarkKNNPredictBatch", false},
+	"pr4_gemm":              {"pr4", "BenchmarkGEMM", false},
+	"pr5_gemm":              {"pr5", "BenchmarkGEMM", false},
+	"pr4_sweep_serial_s":    {"pr4", "BenchmarkSweepSerial", true},
+	"pr5_sweep_serial_s":    {"pr5", "BenchmarkSweepSerial", true},
+}
+
+// legacyBenchFile matches BENCH_PR2.json / BENCH_PR5.json.
+type legacyBenchFile struct {
+	Benchmark string `json:"benchmark"`
+	Host      struct {
+		CPU         string `json:"cpu"`
+		CPUsVisible int    `json:"cpus_visible"`
+	} `json:"host"`
+	RunsSeconds map[string][]float64 `json:"runs_seconds_per_op"`
+	RunsNs      map[string][]float64 `json:"runs_ns_per_op"`
+}
+
+// legacyLoadgenFile matches BENCH_PR3.json (the loadgen Report shape).
+type legacyLoadgenFile struct {
+	Platform string `json:"platform"`
+	Config   string `json:"config"`
+	Clients  int    `json:"clients"`
+	Batch    int    `json:"batch"`
+	Passes   []struct {
+		Name       string  `json:"name"`
+		Requests   int     `json:"requests"`
+		ReqPerSec  float64 `json:"req_per_sec"`
+		InstPerSec float64 `json:"instances_per_sec"`
+		MeanMs     float64 `json:"mean_ms"`
+		P50Ms      float64 `json:"p50_ms"`
+		P95Ms      float64 `json:"p95_ms"`
+		P99Ms      float64 `json:"p99_ms"`
+	} `json:"passes"`
+}
+
+// ConvertLegacy converts one legacy BENCH_PR*.json blob into history
+// records. times assigns each produced record (keyed by its arm label) a
+// timestamp — the commit date the measurement landed with; arms without
+// an entry fail, because an undated history entry cannot be ordered.
+// source names the input file for provenance.
+func ConvertLegacy(blob []byte, source string, times map[string]time.Time) ([]*Record, error) {
+	var bench legacyBenchFile
+	if err := json.Unmarshal(blob, &bench); err == nil &&
+		(len(bench.RunsSeconds) > 0 || len(bench.RunsNs) > 0) {
+		return convertLegacyBench(bench, source, times)
+	}
+	var lg legacyLoadgenFile
+	if err := json.Unmarshal(blob, &lg); err == nil && len(lg.Passes) > 0 && lg.Platform != "" {
+		return convertLegacyLoadgen(lg, source, times)
+	}
+	return nil, fmt.Errorf("%s: unrecognized legacy benchmark shape", source)
+}
+
+func convertLegacyBench(f legacyBenchFile, source string, times map[string]time.Time) ([]*Record, error) {
+	runs := f.RunsSeconds
+	if len(runs) == 0 {
+		runs = f.RunsNs
+	}
+	byArm := map[string]*Record{}
+	keys := make([]string, 0, len(runs))
+	for k := range runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		la, ok := legacyBenchKeys[key]
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown legacy benchmark key %q", source, key)
+		}
+		rec := byArm[la.arm]
+		if rec == nil {
+			t, ok := times[la.arm]
+			if !ok {
+				return nil, fmt.Errorf("%s: no timestamp given for arm %q", source, la.arm)
+			}
+			rec = &Record{
+				Schema: SchemaVersion,
+				Kind:   KindBench,
+				Label:  la.arm,
+				Time:   t.UTC(),
+				Env: Env{
+					NumCPU:     f.Host.CPUsVisible,
+					GOMAXPROCS: f.Host.CPUsVisible,
+					CPUModel:   f.Host.CPU,
+				},
+				Source: "converted from " + source,
+				Notes:  f.Benchmark,
+			}
+			byArm[la.arm] = rec
+		}
+		res := Result{Name: la.name, Unit: "ns/op"}
+		for _, v := range runs[key] {
+			if la.seconds {
+				v *= 1e9
+			}
+			res.Runs = append(res.Runs, v)
+		}
+		res.Finalize()
+		rec.Results = append(rec.Results, res)
+	}
+	var out []*Record
+	for _, rec := range byArm {
+		sort.Slice(rec.Results, func(i, j int) bool { return rec.Results[i].Name < rec.Results[j].Name })
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+func convertLegacyLoadgen(f legacyLoadgenFile, source string, times map[string]time.Time) ([]*Record, error) {
+	const arm = "pr3"
+	t, ok := times[arm]
+	if !ok {
+		return nil, fmt.Errorf("%s: no timestamp given for arm %q", source, arm)
+	}
+	rec := &Record{
+		Schema: SchemaVersion,
+		Kind:   KindLoadgen,
+		Label:  arm,
+		Time:   t.UTC(),
+		Source: "converted from " + source,
+		Notes: fmt.Sprintf("closed-loop loadgen: %s %s, %d clients, batch %d",
+			f.Platform, f.Config, f.Clients, f.Batch),
+	}
+	for _, p := range f.Passes {
+		rec.Results = append(rec.Results, LoadgenResults("loadgen/"+p.Name, p.ReqPerSec, p.InstPerSec, p.MeanMs, p.P50Ms, p.P95Ms, p.P99Ms)...)
+	}
+	return []*Record{rec}, nil
+}
+
+// LoadgenResults builds the standard series set for one loadgen pass —
+// shared by the legacy converter and cmd/mlaas-loadgen's live -perf-out
+// path, so both produce the same (name, unit) identities and the
+// trajectory is continuous across the conversion boundary.
+func LoadgenResults(name string, reqPerSec, instPerSec, meanMs, p50Ms, p95Ms, p99Ms float64) []Result {
+	mk := func(unit string, v float64) Result {
+		r := Result{Name: name, Unit: unit, Runs: []float64{v}, HigherIsBetter: HigherBetterUnit(unit)}
+		r.Finalize()
+		return r
+	}
+	return []Result{
+		mk("req/s", reqPerSec),
+		mk("instances/s", instPerSec),
+		mk("mean_ms", meanMs),
+		mk("p50_ms", p50Ms),
+		mk("p95_ms", p95Ms),
+		mk("p99_ms", p99Ms),
+	}
+}

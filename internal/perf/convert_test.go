@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var legacyTimes = map[string]time.Time{
+	"seed": time.Date(2026, 8, 5, 11, 6, 11, 0, time.UTC),
+	"pr2":  time.Date(2026, 8, 5, 12, 29, 37, 0, time.UTC),
+	"pr3":  time.Date(2026, 8, 5, 12, 57, 15, 0, time.UTC),
+	"pr4":  time.Date(2026, 8, 5, 13, 37, 13, 0, time.UTC),
+	"pr5":  time.Date(2026, 8, 5, 14, 21, 30, 0, time.UTC),
+}
+
+func TestConvertLegacyPR2Shape(t *testing.T) {
+	blob := []byte(`{
+	  "benchmark": "RunSweep quick",
+	  "host": {"cpu": "Intel Xeon @ 2.10GHz", "cpus_visible": 1},
+	  "runs_seconds_per_op": {
+	    "seed_engine": [32.50, 32.51, 32.74],
+	    "pr2_workers1": [16.77, 16.71],
+	    "pr2_workers4": [16.89, 15.65, 16.30]
+	  }
+	}`)
+	recs, err := ConvertLegacy(blob, "BENCH_PR2.json", legacyTimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want seed + pr2", len(recs))
+	}
+	seed, pr2 := recs[0], recs[1]
+	if seed.Label != "seed" || pr2.Label != "pr2" {
+		t.Fatalf("labels %q %q", seed.Label, pr2.Label)
+	}
+	if !seed.Time.Before(pr2.Time) {
+		t.Error("seed record must predate pr2")
+	}
+	ss := seed.Result("BenchmarkSweepSerial", "ns/op")
+	if ss == nil || len(ss.Runs) != 3 || ss.Runs[0] != 32.50e9 {
+		t.Fatalf("seed sweep serial wrong: %+v", ss)
+	}
+	if pr2.Result("BenchmarkSweepParallel4", "ns/op") == nil ||
+		pr2.Result("BenchmarkSweepSerial", "ns/op") == nil {
+		t.Fatalf("pr2 results wrong: %+v", pr2.Results)
+	}
+	if seed.Env.NumCPU != 1 || seed.Env.CPUModel == "" {
+		t.Errorf("host fingerprint not carried: %+v", seed.Env)
+	}
+}
+
+func TestConvertLegacyPR5Shape(t *testing.T) {
+	blob := []byte(`{
+	  "host": {"cpu": "Intel Xeon", "cpus_visible": 1},
+	  "runs_ns_per_op": {
+	    "pr4_gemm": [2054098, 2134719],
+	    "pr5_gemm": [2162159, 2205752],
+	    "pr4_sweep_serial_s": [16.24, 16.74],
+	    "pr5_sweep_serial_s": [12.95, 16.88]
+	  }
+	}`)
+	recs, err := ConvertLegacy(blob, "BENCH_PR5.json", legacyTimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want pr4 + pr5", len(recs))
+	}
+	pr4 := recs[0]
+	if pr4.Label != "pr4" {
+		t.Fatalf("first record %q, want pr4 (older)", pr4.Label)
+	}
+	sw := pr4.Result("BenchmarkSweepSerial", "ns/op")
+	if sw == nil || math.Abs(sw.Runs[0]-16.24e9) > 1 {
+		t.Fatalf("seconds key not scaled to ns: %+v", sw)
+	}
+	if g := pr4.Result("BenchmarkGEMM", "ns/op"); g == nil || g.Runs[0] != 2054098 {
+		t.Fatalf("ns key rescaled wrongly: %+v", g)
+	}
+}
+
+func TestConvertLegacyPR3Shape(t *testing.T) {
+	blob := []byte(`{
+	  "platform": "local", "classifier": "mlp", "config": "none|mlp",
+	  "clients": 4, "batch": 64,
+	  "passes": [
+	    {"name": "refit", "requests": 439, "req_per_sec": 145.7, "instances_per_sec": 8743.0,
+	     "mean_ms": 27.4, "p50_ms": 20.7, "p95_ms": 41.2, "p99_ms": 43.0},
+	    {"name": "forward", "requests": 14291, "req_per_sec": 4763.2, "instances_per_sec": 285792.9,
+	     "mean_ms": 0.84, "p50_ms": 0.79, "p95_ms": 1.11, "p99_ms": 1.66}
+	  ]
+	}`)
+	recs, err := ConvertLegacy(blob, "BENCH_PR3.json", legacyTimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != KindLoadgen || recs[0].Label != "pr3" {
+		t.Fatalf("loadgen conversion wrong: %+v", recs)
+	}
+	fwd := recs[0].Result("loadgen/forward", "req/s")
+	if fwd == nil || fwd.Mean != 4763.2 || !fwd.HigherIsBetter {
+		t.Fatalf("forward req/s wrong: %+v", fwd)
+	}
+	if p95 := recs[0].Result("loadgen/refit", "p95_ms"); p95 == nil || p95.HigherIsBetter {
+		t.Fatalf("refit p95 wrong: %+v", p95)
+	}
+}
+
+func TestConvertLegacyRejectsUnknown(t *testing.T) {
+	if _, err := ConvertLegacy([]byte(`{"something": "else"}`), "x.json", legacyTimes); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+	if _, err := ConvertLegacy([]byte(`{"runs_ns_per_op": {"mystery_key": [1]}}`), "x.json", legacyTimes); err == nil {
+		t.Fatal("unknown legacy key must error, not fabricate history")
+	}
+	if _, err := ConvertLegacy([]byte(`{"runs_ns_per_op": {"pr4_gemm": [1]}}`), "x.json", map[string]time.Time{}); err == nil {
+		t.Fatal("missing timestamp must error")
+	}
+}

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one loaded history record plus where it came from.
+type Entry struct {
+	Path   string
+	Record *Record
+}
+
+// LoadHistory reads every *.json record in dir, sorted oldest-first by
+// record time (ties broken by filename, which embeds the time anyway).
+// A missing dir is an empty history, not an error; unreadable or
+// non-record files fail loudly — a corrupt history should never be
+// silently compared around.
+func LoadHistory(dir string) ([]Entry, error) {
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		rec, err := ReadRecord(path)
+		if err != nil {
+			return nil, fmt.Errorf("load history: %w", err)
+		}
+		entries = append(entries, Entry{Path: path, Record: rec})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ti, tj := entries[i].Record.Time, entries[j].Record.Time
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return entries[i].Path < entries[j].Path
+	})
+	return entries, nil
+}
+
+// FilterKind returns the entries whose record kind matches (all entries
+// when kind is empty).
+func FilterKind(entries []Entry, kind string) []Entry {
+	if kind == "" {
+		return entries
+	}
+	var out []Entry
+	for _, e := range entries {
+		if e.Record.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LatestPair returns the newest and second-newest entries of a kind — the
+// default compare operands. ok is false with fewer than two.
+func LatestPair(entries []Entry, kind string) (prev, latest Entry, ok bool) {
+	filtered := FilterKind(entries, kind)
+	if len(filtered) < 2 {
+		return Entry{}, Entry{}, false
+	}
+	return filtered[len(filtered)-2], filtered[len(filtered)-1], true
+}

@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistoryRoundTripAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	t2 := mkRecord("two", mkResult("BenchmarkA", "ns/op", 110))
+	t2.Time = time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	t1 := mkRecord("one", mkResult("BenchmarkA", "ns/op", 100))
+	t1.Time = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	lg := mkRecord("lg", mkResult("loadgen/forward", "req/s", 5000))
+	lg.Kind = KindLoadgen
+	lg.Time = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, rec := range []*Record{t2, t1, lg} {
+		if _, err := rec.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entries, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(entries))
+	}
+	labels := []string{}
+	for _, e := range entries {
+		labels = append(labels, e.Record.Label)
+	}
+	if strings.Join(labels, ",") != "one,two,lg" {
+		t.Fatalf("history order %v, want oldest first", labels)
+	}
+
+	prev, latest, ok := LatestPair(entries, KindBench)
+	if !ok || prev.Record.Label != "one" || latest.Record.Label != "two" {
+		t.Fatalf("LatestPair bench = %v/%v ok=%v", prev.Record, latest.Record, ok)
+	}
+	if _, _, ok := LatestPair(entries, KindLoadgen); ok {
+		t.Fatal("one loadgen record must not form a pair")
+	}
+}
+
+func TestLoadHistoryMissingDirIsEmpty(t *testing.T) {
+	entries, err := LoadHistory(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing dir: %v %v", entries, err)
+	}
+}
+
+func TestLoadHistoryRejectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"kind":"bench"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(dir); err == nil {
+		t.Fatal("corrupt record must fail the load")
+	}
+}
+
+func TestReadRecordRejectsNewerSchema(t *testing.T) {
+	dir := t.TempDir()
+	rec := mkRecord("future", mkResult("BenchmarkA", "ns/op", 1))
+	rec.Schema = SchemaVersion + 1
+	path, err := rec.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecord(path); err == nil {
+		t.Fatal("newer schema must be rejected")
+	}
+}
+
+func TestFilenameSortsByTime(t *testing.T) {
+	a := mkRecord("b-label", mkResult("BenchmarkA", "ns/op", 1))
+	a.Time = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	if got, want := a.Filename(), "20260102T030405Z-bench-b-label.json"; got != want {
+		t.Errorf("Filename() = %q, want %q", got, want)
+	}
+	a.Label = "we?rd label"
+	if got := a.Filename(); strings.ContainsAny(got, "? ") {
+		t.Errorf("label not sanitized: %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package perf
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark measurement: one `Benchmark...` output
+// line contributes one Sample per value/unit pair (ns/op always; B/op and
+// allocs/op under -benchmem).
+type Sample struct {
+	Name  string // "BenchmarkGEMM" — procs suffix stripped into Procs
+	Procs int    // GOMAXPROCS suffix ("-8"); 1 when absent
+	Unit  string
+	Value float64
+	Iters int64 // the benchmark's iteration count (b.N)
+}
+
+// ParseBenchOutput extracts benchmark samples from `go test -bench`
+// output, in the standard Go benchmark data format benchstat consumes:
+//
+//	BenchmarkGEMM-8   546   2162159 ns/op   524288 B/op   3 allocs/op
+//
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are ignored, so the
+// raw combined output of a run can be fed in unfiltered.
+func ParseBenchOutput(out []byte) []Sample {
+	var samples []Sample
+	for _, line := range strings.Split(string(out), "\n") {
+		samples = append(samples, parseBenchLine(line)...)
+	}
+	return samples
+}
+
+func parseBenchLine(line string) []Sample {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iters, value, unit.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil
+	}
+	// "Benchmark" alone is a header word, not a result; the name must
+	// continue with an uppercase letter or digit per the benchmark format.
+	if fields[0] == "Benchmark" {
+		return nil
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil
+	}
+	var out []Sample
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		out = append(out, Sample{Name: name, Procs: procs, Unit: fields[i+1], Value: val, Iters: iters})
+	}
+	return out
+}
+
+// splitProcs strips a trailing "-N" GOMAXPROCS suffix from a benchmark
+// name. Sub-benchmark names may themselves contain dashes, so only a
+// trailing all-digit segment counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// MergeSamples folds samples into results keyed by (Name, Unit),
+// appending each sample's value as one run. Existing results (from
+// earlier rounds) gain samples; new (name, unit) pairs create results.
+// Finalize is called on every touched result.
+func MergeSamples(results []Result, samples []Sample) []Result {
+	idx := map[[2]string]int{}
+	for i, r := range results {
+		idx[[2]string{r.Name, r.Unit}] = i
+	}
+	touched := map[int]bool{}
+	for _, s := range samples {
+		key := [2]string{s.Name, s.Unit}
+		i, ok := idx[key]
+		if !ok {
+			results = append(results, Result{
+				Name: s.Name, Unit: s.Unit,
+				HigherIsBetter: HigherBetterUnit(s.Unit),
+			})
+			i = len(results) - 1
+			idx[key] = i
+		}
+		results[i].Runs = append(results[i].Runs, s.Value)
+		touched[i] = true
+	}
+	for i := range touched {
+		results[i].Finalize()
+	}
+	return results
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: mlaasbench/internal/linalg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGEMM     	     546	   2162159 ns/op	  524288 B/op	       3 allocs/op
+BenchmarkMLPForwardBatch-8 	    5919	    201731 ns/op
+Benchmark 12 garbage ns/op
+BenchmarkBadIters abc 123 ns/op
+PASS
+ok  	mlaasbench/internal/linalg	2.5s
+`)
+	samples := ParseBenchOutput(out)
+	want := []Sample{
+		{Name: "BenchmarkGEMM", Procs: 1, Unit: "ns/op", Value: 2162159, Iters: 546},
+		{Name: "BenchmarkGEMM", Procs: 1, Unit: "B/op", Value: 524288, Iters: 546},
+		{Name: "BenchmarkGEMM", Procs: 1, Unit: "allocs/op", Value: 3, Iters: 546},
+		{Name: "BenchmarkMLPForwardBatch", Procs: 8, Unit: "ns/op", Value: 201731, Iters: 5919},
+	}
+	if len(samples) != len(want) {
+		t.Fatalf("got %d samples, want %d: %+v", len(samples), len(want), samples)
+	}
+	for i, s := range samples {
+		if s != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestSplitProcsKeepsDashedNames(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkGEMM-16", "BenchmarkGEMM", 16},
+		{"BenchmarkGEMM", "BenchmarkGEMM", 1},
+		{"BenchmarkFoo/sub-case", "BenchmarkFoo/sub-case", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+func TestMergeSamplesAccumulatesRuns(t *testing.T) {
+	var results []Result
+	results = MergeSamples(results, []Sample{{Name: "BenchmarkX", Unit: "ns/op", Value: 100}})
+	results = MergeSamples(results, []Sample{{Name: "BenchmarkX", Unit: "ns/op", Value: 110}})
+	results = MergeSamples(results, []Sample{{Name: "BenchmarkY", Unit: "req/s", Value: 50}})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	x := results[0]
+	if len(x.Runs) != 2 || x.Mean != 105 {
+		t.Errorf("BenchmarkX runs %v mean %v, want 2 runs mean 105", x.Runs, x.Mean)
+	}
+	wantCV := (math.Sqrt(50) / 105)
+	if math.Abs(x.CV-wantCV) > 1e-12 {
+		t.Errorf("BenchmarkX cv %v, want %v", x.CV, wantCV)
+	}
+	if x.HigherIsBetter {
+		t.Error("ns/op marked higher-is-better")
+	}
+	if !results[1].HigherIsBetter {
+		t.Error("req/s not marked higher-is-better")
+	}
+}
+
+func TestMeanCVEdgeCases(t *testing.T) {
+	if m, cv := MeanCV(nil); m != 0 || cv != 0 {
+		t.Errorf("empty: %v %v", m, cv)
+	}
+	if m, cv := MeanCV([]float64{42}); m != 42 || cv != 0 {
+		t.Errorf("single: %v %v", m, cv)
+	}
+	if m, cv := MeanCV([]float64{-1, 1}); m != 0 || cv != 0 {
+		t.Errorf("zero mean must not divide: %v %v", m, cv)
+	}
+}

@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TrajectoryPoint is one record's value for one series.
+type TrajectoryPoint struct {
+	Label        string  `json:"label"`
+	Time         string  `json:"time"`
+	Mean         float64 `json:"mean"`
+	CV           float64 `json:"cv"`
+	HighVariance bool    `json:"high_variance,omitempty"`
+	EnvChanged   bool    `json:"env_changed,omitempty"` // fingerprint differs from the previous point
+}
+
+// Trajectory is the tracked history of one (name, unit) series.
+type Trajectory struct {
+	Name   string            `json:"name"`
+	Unit   string            `json:"unit"`
+	Points []TrajectoryPoint `json:"points"`
+}
+
+// Trajectories folds a history into per-series trajectories, ordered by
+// series name then unit. Entries should be oldest-first (LoadHistory
+// order).
+func Trajectories(entries []Entry) []Trajectory {
+	idx := map[[2]string]int{}
+	var out []Trajectory
+	lastEnv := map[[2]string]Env{}
+	for _, e := range entries {
+		rec := e.Record
+		for _, res := range rec.Results {
+			key := [2]string{res.Name, res.Unit}
+			i, ok := idx[key]
+			if !ok {
+				out = append(out, Trajectory{Name: res.Name, Unit: res.Unit})
+				i = len(out) - 1
+				idx[key] = i
+			}
+			pt := TrajectoryPoint{
+				Label:        recLabel(rec),
+				Time:         rec.Time.UTC().Format("2006-01-02T15:04:05Z"),
+				Mean:         res.Mean,
+				CV:           res.CV,
+				HighVariance: res.HighVariance,
+			}
+			if prev, seen := lastEnv[key]; seen && !prev.Same(rec.Env) {
+				pt.EnvChanged = true
+			}
+			lastEnv[key] = rec.Env
+			out[i].Points = append(out[i].Points, pt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// WriteReport renders the history as a text trajectory: one block per
+// series, one line per record, with the relative change from the previous
+// point. An env-fingerprint change between points is flagged, since a
+// jump across it is a machine delta as much as a code delta.
+func WriteReport(w io.Writer, entries []Entry) {
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "perf history is empty")
+		return
+	}
+	fmt.Fprintf(w, "perf history: %d records, %s .. %s\n",
+		len(entries),
+		entries[0].Record.Time.UTC().Format("2006-01-02"),
+		entries[len(entries)-1].Record.Time.UTC().Format("2006-01-02"))
+	latest := entries[len(entries)-1].Record
+	fmt.Fprintf(w, "latest env: %s\n", latest.Env)
+	for _, tr := range Trajectories(entries) {
+		fmt.Fprintf(w, "%s (%s)\n", tr.Name, tr.Unit)
+		for i, pt := range tr.Points {
+			delta := ""
+			if i > 0 && tr.Points[i-1].Mean != 0 {
+				delta = fmt.Sprintf("%+7.1f%%", (pt.Mean-tr.Points[i-1].Mean)/tr.Points[i-1].Mean*100)
+			}
+			flags := ""
+			if pt.HighVariance {
+				flags += " high-variance"
+			}
+			if pt.EnvChanged {
+				flags += " env-changed"
+			}
+			fmt.Fprintf(w, "  %-20s %-11s %14s  cv %4.1f%% %8s%s\n",
+				pt.Label, pt.Time[:10], formatValue(pt.Mean, tr.Unit), pt.CV*100, delta, flags)
+		}
+	}
+}
+
+// WriteReportJSON renders the same trajectory data as JSON.
+func WriteReportJSON(w io.Writer, entries []Entry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Trajectories(entries))
+}
+
+// WriteBenchFormat renders one record in the Go benchmark data format
+// (with the fingerprint as configuration lines), so a history entry can
+// be handed straight to benchstat:
+//
+//	mlaas-perf report -format benchfmt -record old.json > old.txt
+//	benchstat old.txt new.txt
+//
+// Each kept run prints as its own Benchmark line — benchstat needs the
+// per-run samples, not the mean, to do its statistics. Only ns/op-family
+// units are emitted; loadgen units (req/s, p95_ms) are not benchfmt.
+func WriteBenchFormat(w io.Writer, rec *Record) {
+	if rec.Env.GOOS != "" {
+		fmt.Fprintf(w, "goos: %s\n", rec.Env.GOOS)
+	}
+	if rec.Env.GOARCH != "" {
+		fmt.Fprintf(w, "goarch: %s\n", rec.Env.GOARCH)
+	}
+	if rec.Env.CPUModel != "" {
+		fmt.Fprintf(w, "cpu: %s\n", rec.Env.CPUModel)
+	}
+	procs := rec.Env.GOMAXPROCS
+	suffix := ""
+	if procs > 1 {
+		suffix = fmt.Sprintf("-%d", procs)
+	}
+	for _, res := range rec.Results {
+		switch res.Unit {
+		case "ns/op", "B/op", "allocs/op":
+		default:
+			continue
+		}
+		for _, v := range res.Runs {
+			fmt.Fprintf(w, "%s%s 1 %g %s\n", res.Name, suffix, v, res.Unit)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func historyFixture() []Entry {
+	seed := mkRecord("seed", mkResult("BenchmarkSweepSerial", "ns/op", 32.5e9, 32.7e9))
+	seed.Time = time.Date(2026, 8, 5, 11, 0, 0, 0, time.UTC)
+	seed.Env = Env{GoVersion: "go1.23.0", NumCPU: 1, GOMAXPROCS: 1}
+	pr2 := mkRecord("pr2",
+		mkResult("BenchmarkSweepSerial", "ns/op", 16.7e9, 16.8e9),
+		mkResult("BenchmarkSweepParallel4", "ns/op", 16.3e9),
+	)
+	pr2.Time = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	pr2.Env = Env{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1}
+	return []Entry{{Path: "a.json", Record: seed}, {Path: "b.json", Record: pr2}}
+}
+
+func TestTrajectoriesFoldHistory(t *testing.T) {
+	trs := Trajectories(historyFixture())
+	if len(trs) != 2 {
+		t.Fatalf("got %d trajectories, want 2", len(trs))
+	}
+	// Sorted by name: Parallel4 before Serial.
+	serial := trs[1]
+	if serial.Name != "BenchmarkSweepSerial" || len(serial.Points) != 2 {
+		t.Fatalf("serial trajectory wrong: %+v", serial)
+	}
+	if !serial.Points[1].EnvChanged {
+		t.Error("go version change between points not flagged")
+	}
+	if serial.Points[0].Mean <= serial.Points[1].Mean {
+		t.Error("trajectory order lost the improvement")
+	}
+}
+
+func TestWriteReportRendersTrajectory(t *testing.T) {
+	var sb strings.Builder
+	WriteReport(&sb, historyFixture())
+	out := sb.String()
+	for _, want := range []string{"BenchmarkSweepSerial", "seed", "pr2", "env-changed", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	WriteReport(&sb, nil)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("empty history should say so")
+	}
+}
+
+// benchfmt output must round-trip through our own parser (which accepts
+// the same format benchstat does).
+func TestWriteBenchFormatRoundTrips(t *testing.T) {
+	rec := mkRecord("x",
+		mkResult("BenchmarkGEMM", "ns/op", 2054098, 2134719),
+		mkResult("BenchmarkGEMM", "allocs/op", 3),
+		mkResult("loadgen/forward", "req/s", 4763), // not benchfmt: skipped
+	)
+	rec.Env = Env{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, CPUModel: "Intel Xeon"}
+	var sb strings.Builder
+	WriteBenchFormat(&sb, rec)
+	out := sb.String()
+	if strings.Contains(out, "req/s") {
+		t.Errorf("loadgen unit leaked into benchfmt:\n%s", out)
+	}
+	samples := ParseBenchOutput([]byte(out))
+	if len(samples) != 3 {
+		t.Fatalf("round-trip got %d samples, want 3:\n%s", len(samples), out)
+	}
+	if samples[0].Name != "BenchmarkGEMM" || samples[0].Value != 2054098 {
+		t.Errorf("round-trip sample wrong: %+v", samples[0])
+	}
+}

@@ -1,0 +1,157 @@
+package perf
+
+import (
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RunConfig describes one benchmark collection run.
+type RunConfig struct {
+	Pkgs      []string // package patterns handed to go test
+	Bench     string   // -bench regex selecting the suite
+	Benchtime string   // -benchtime per benchmark invocation ("1s", "1x")
+	Count     int      // full-suite rounds (samples per benchmark)
+	Benchmem  bool     // collect B/op and allocs/op too
+
+	// CVGate is the coefficient-of-variation threshold (e.g. 0.05 = 5%):
+	// after the Count rounds, benchmarks whose ns/op CV exceeds it are
+	// rerun — alone, so the reruns are cheap — for up to MaxReruns extra
+	// rounds each, appending samples until the CV settles under the gate.
+	// Zero disables the gate.
+	CVGate    float64
+	MaxReruns int
+
+	Label string
+	Kind  string // defaults to KindBench
+}
+
+// Runner collects a benchmark Record. Exec runs one suite round for a
+// given -bench regex and returns the raw go test output; it defaults to a
+// `go test` subprocess and is injectable for tests. Logf (optional)
+// receives progress lines.
+type Runner struct {
+	Exec func(cfg RunConfig, benchRegex string) ([]byte, error)
+	Logf func(format string, args ...any)
+	// Now stamps the record; defaults to time.Now (tests pin it).
+	Now func() time.Time
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run executes cfg.Count rounds of the suite, applies the CV gate, and
+// returns the finished record (not yet written anywhere).
+func (r *Runner) Run(cfg RunConfig) (*Record, error) {
+	if cfg.Count < 1 {
+		cfg.Count = 1
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = KindBench
+	}
+	execFn := r.Exec
+	if execFn == nil {
+		execFn = execGoTest
+	}
+	now := r.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	var results []Result
+	for round := 1; round <= cfg.Count; round++ {
+		r.logf("round %d/%d: go test -bench %s", round, cfg.Count, cfg.Bench)
+		out, err := execFn(cfg, cfg.Bench)
+		if err != nil {
+			return nil, fmt.Errorf("bench round %d: %w\n%s", round, err, out)
+		}
+		samples := ParseBenchOutput(out)
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("bench round %d: no benchmark results in output:\n%s", round, out)
+		}
+		results = MergeSamples(results, samples)
+	}
+
+	// Variance gate: rerun every benchmark whose primary (ns/op) series is
+	// still noisier than the gate, all in one go test invocation per extra
+	// round so N noisy benchmarks don't cost N compiles.
+	reruns := 0
+	for cfg.CVGate > 0 && reruns < cfg.MaxReruns {
+		noisy := noisyBenchmarks(results, cfg.CVGate)
+		if len(noisy) == 0 {
+			break
+		}
+		reruns++
+		regex := "^(" + strings.Join(noisy, "|") + ")$"
+		r.logf("cv gate: rerun %d/%d for %s", reruns, cfg.MaxReruns, strings.Join(noisy, " "))
+		out, err := execFn(cfg, regex)
+		if err != nil {
+			return nil, fmt.Errorf("cv-gate rerun %d: %w\n%s", reruns, err, out)
+		}
+		results = MergeSamples(results, ParseBenchOutput(out))
+		for i := range results {
+			for _, name := range noisy {
+				if results[i].Name == name {
+					results[i].Reruns = reruns
+				}
+			}
+		}
+	}
+	if cfg.CVGate > 0 {
+		for i := range results {
+			if results[i].Unit == "ns/op" && results[i].CV > cfg.CVGate {
+				results[i].HighVariance = true
+				r.logf("warning: %s CV %.1f%% still above the %.1f%% gate after %d reruns",
+					results[i].Name, results[i].CV*100, cfg.CVGate*100, reruns)
+			}
+		}
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Name != results[j].Name {
+			return results[i].Name < results[j].Name
+		}
+		return results[i].Unit < results[j].Unit
+	})
+	return &Record{
+		Schema:  SchemaVersion,
+		Kind:    cfg.Kind,
+		Label:   cfg.Label,
+		Time:    now().UTC(),
+		Env:     CurrentEnv(),
+		Source:  strings.Join(append([]string{"go test -run ^$ -bench", cfg.Bench, "-benchtime", cfg.Benchtime, fmt.Sprintf("-count=%d rounds", cfg.Count)}, cfg.Pkgs...), " "),
+		Results: results,
+	}, nil
+}
+
+// noisyBenchmarks lists benchmark names whose ns/op CV exceeds gate.
+func noisyBenchmarks(results []Result, gate float64) []string {
+	var names []string
+	for _, res := range results {
+		if res.Unit == "ns/op" && res.CV > gate {
+			names = append(names, res.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// execGoTest runs one benchmark round as a go test subprocess. Combined
+// output is returned even on error so failures carry the compiler/test
+// noise that explains them.
+func execGoTest(cfg RunConfig, benchRegex string) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRegex}
+	if cfg.Benchtime != "" {
+		args = append(args, "-benchtime", cfg.Benchtime)
+	}
+	if cfg.Benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, cfg.Pkgs...)
+	return exec.Command("go", args...).CombinedOutput()
+}

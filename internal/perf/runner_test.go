@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeExec scripts benchmark output per invocation and records the -bench
+// regex each round asked for.
+type fakeExec struct {
+	outputs []string
+	calls   []string
+}
+
+func (f *fakeExec) exec(_ RunConfig, benchRegex string) ([]byte, error) {
+	f.calls = append(f.calls, benchRegex)
+	if len(f.outputs) == 0 {
+		return nil, fmt.Errorf("fakeExec: no scripted output left")
+	}
+	out := f.outputs[0]
+	f.outputs = f.outputs[1:]
+	return []byte(out), nil
+}
+
+func benchLine(name string, ns float64) string {
+	return fmt.Sprintf("%s 100 %g ns/op\n", name, ns)
+}
+
+// TestRunnerCVGateTriggersRerun scripts a stable benchmark next to a
+// high-variance one: the gate must rerun only the noisy benchmark, merge
+// the rerun samples, and settle once the CV drops under the gate.
+func TestRunnerCVGateTriggersRerun(t *testing.T) {
+	calm := ""
+	for i := 0; i < 12; i++ {
+		calm += benchLine("BenchmarkNoisy", 1080)
+	}
+	fe := &fakeExec{outputs: []string{
+		// 3 suite rounds: Stable at ~100, Noisy swinging (CV ~13%).
+		benchLine("BenchmarkStable", 100) + benchLine("BenchmarkNoisy", 1000),
+		benchLine("BenchmarkStable", 101) + benchLine("BenchmarkNoisy", 1250),
+		benchLine("BenchmarkStable", 99) + benchLine("BenchmarkNoisy", 1000),
+		// CV-gate rerun round: only Noisy, calm samples dilute the swing
+		// until the merged CV (~5%) settles under the 10% gate.
+		calm,
+	}}
+	r := &Runner{Exec: fe.exec, Now: func() time.Time { return time.Unix(0, 0) }}
+	rec, err := r.Run(RunConfig{
+		Bench: "Stable|Noisy", Count: 3, CVGate: 0.10, MaxReruns: 3, Label: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fe.calls) != 4 {
+		t.Fatalf("exec called %d times (%v), want 3 suite rounds + 1 rerun", len(fe.calls), fe.calls)
+	}
+	if got := fe.calls[3]; got != "^(BenchmarkNoisy)$" {
+		t.Errorf("rerun regex %q, want only the noisy benchmark", got)
+	}
+	stable := rec.Result("BenchmarkStable", "ns/op")
+	if stable == nil || len(stable.Runs) != 3 || stable.Reruns != 0 || stable.HighVariance {
+		t.Errorf("stable result wrong: %+v", stable)
+	}
+	noisy := rec.Result("BenchmarkNoisy", "ns/op")
+	if noisy == nil || len(noisy.Runs) != 15 || noisy.Reruns != 1 {
+		t.Fatalf("noisy result wrong: %+v", noisy)
+	}
+	if noisy.CV > 0.10 {
+		t.Errorf("noisy CV %v still above gate after merge", noisy.CV)
+	}
+	if noisy.HighVariance {
+		t.Error("noisy flagged high-variance despite settling")
+	}
+}
+
+// TestRunnerFlagsUnsettledVariance exhausts MaxReruns on a benchmark that
+// never calms down: it must come back flagged, not silently accepted.
+func TestRunnerFlagsUnsettledVariance(t *testing.T) {
+	swing := func(a, b float64) string { return benchLine("BenchmarkWild", a) + benchLine("BenchmarkWild", b) }
+	fe := &fakeExec{outputs: []string{
+		swing(1000, 3000), // suite round (count=1 gives both lines in one round)
+		swing(500, 4000),  // rerun 1
+		swing(100, 5000),  // rerun 2
+	}}
+	r := &Runner{Exec: fe.exec, Now: func() time.Time { return time.Unix(0, 0) }}
+	rec, err := r.Run(RunConfig{Bench: "Wild", Count: 1, CVGate: 0.05, MaxReruns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rec.Result("BenchmarkWild", "ns/op")
+	if res == nil || !res.HighVariance || res.Reruns != 2 {
+		t.Fatalf("want high-variance flag after exhausted reruns, got %+v", res)
+	}
+	if len(fe.calls) != 3 {
+		t.Errorf("exec called %d times, want 1 suite + 2 reruns", len(fe.calls))
+	}
+}
+
+func TestRunnerNoGateNoReruns(t *testing.T) {
+	fe := &fakeExec{outputs: []string{
+		benchLine("BenchmarkX", 100),
+		benchLine("BenchmarkX", 10000),
+	}}
+	r := &Runner{Exec: fe.exec, Now: func() time.Time { return time.Unix(0, 0) }}
+	rec, err := r.Run(RunConfig{Bench: "X", Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fe.calls) != 2 {
+		t.Errorf("gate disabled but exec ran %d times", len(fe.calls))
+	}
+	if res := rec.Result("BenchmarkX", "ns/op"); res.HighVariance {
+		t.Error("high-variance flag set with gate disabled")
+	}
+}
+
+func TestRunnerErrorsOnEmptyOutput(t *testing.T) {
+	fe := &fakeExec{outputs: []string{"PASS\nok pkg 0.1s\n"}}
+	r := &Runner{Exec: fe.exec}
+	if _, err := r.Run(RunConfig{Bench: "None", Count: 1}); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark results") {
+		t.Fatalf("want no-results error, got %v", err)
+	}
+}

@@ -313,18 +313,32 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, td)
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. Beyond liveness it carries the
+// build/environment fingerprint (go version, GOMAXPROCS, NumCPU, git SHA
+// when the binary was VCS-stamped), so any number scraped alongside it is
+// attributable to the machine and toolchain that produced it.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Platforms     int     `json:"platforms"`
+	Status         string  `json:"status"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Platforms      int     `json:"platforms"`
+	ResidentModels int     `json:"resident_models"`
+	GoVersion      string  `json:"go_version"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"num_cpu"`
+	GitSHA         string  `json:"git_sha,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fp := telemetry.Fingerprint()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Platforms:     len(s.plats),
+		Status:         "ok",
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Platforms:      len(s.plats),
+		ResidentModels: s.fits.size(),
+		GoVersion:      fp.GoVersion,
+		GOMAXPROCS:     fp.GOMAXPROCS,
+		NumCPU:         fp.NumCPU,
+		GitSHA:         fp.GitSHA,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -49,6 +50,16 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Platforms != 7 || h.UptimeSeconds < 0 {
 		t.Fatalf("healthz %+v", h)
+	}
+	// The env fingerprint rides along so scraped numbers are attributable.
+	if h.GoVersion != runtime.Version() {
+		t.Errorf("healthz go_version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if h.NumCPU != runtime.NumCPU() || h.GOMAXPROCS <= 0 {
+		t.Errorf("healthz cpu fields %+v", h)
+	}
+	if h.ResidentModels < 0 {
+		t.Errorf("healthz resident_models %d", h.ResidentModels)
 	}
 }
 

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// The perf report and /metrics.json lean on Histogram.Quantile; these
+// tests pin its edge-case behaviour: empty histograms, a single
+// observation, every observation in one bucket, the +Inf bucket, and
+// out-of-range q.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("empty", []float64{0.1, 1, 10})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("single", []float64{0.1, 1, 10})
+	h.Observe(0.5) // lands in the (0.1, 1] bucket
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		v := h.Quantile(q)
+		if v < 0.1 || v > 1 {
+			t.Errorf("Quantile(%v) = %v, must stay inside the observation's bucket (0.1, 1]", q, v)
+		}
+	}
+	// Exactly one observation: q=1 is the bucket's upper bound.
+	if v := h.Quantile(1); v != 1 {
+		t.Errorf("Quantile(1) = %v, want the bucket upper bound 1", v)
+	}
+}
+
+func TestQuantileAllOneBucket(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("onebucket", []float64{0.1, 1, 10})
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.5)
+	}
+	lo, hi := 0.1, 1.0
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < lo || v > hi {
+			t.Errorf("Quantile(%v) = %v, outside the only occupied bucket (%v, %v]", q, v, lo, hi)
+		}
+	}
+	// Interpolation must be monotone in q even inside one bucket.
+	if h.Quantile(0.9) < h.Quantile(0.1) {
+		t.Error("quantiles not monotone inside a single bucket")
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("first", []float64{0.1, 1})
+	h.Observe(0.05)
+	if v := h.Quantile(0.5); v < 0 || v > 0.1 {
+		t.Errorf("Quantile(0.5) = %v, want inside [0, 0.1]", v)
+	}
+}
+
+func TestQuantileInfBucketClampsToLargestBound(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("inf", []float64{0.1, 1, 10})
+	h.Observe(1e6) // beyond the last finite bound
+	h.Observe(1e6)
+	for _, q := range []float64{0.5, 0.99} {
+		if v := h.Quantile(q); v != 10 {
+			t.Errorf("Quantile(%v) = %v, want the largest finite bound 10", q, v)
+		}
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("clamp", []float64{0.1, 1})
+	h.Observe(0.5)
+	if v := h.Quantile(-3); v != h.Quantile(0) {
+		t.Errorf("Quantile(-3) = %v, want Quantile(0) = %v", v, h.Quantile(0))
+	}
+	if v := h.Quantile(7); v != h.Quantile(1) {
+		t.Errorf("Quantile(7) = %v, want Quantile(1) = %v", v, h.Quantile(1))
+	}
+}
+
+func TestQuantileIgnoresNaNObservations(t *testing.T) {
+	h := NewRegistry().HistogramBuckets("nan", []float64{0.1, 1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN observation counted")
+	}
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Error("real observation after NaN not counted")
+	}
+}

@@ -63,6 +63,8 @@ var FamilyBuckets = map[string][]float64{
 	PredictPathHistogram:      FineBuckets,
 	PredictBatchSizeHistogram: BatchSizeBuckets,
 	KernelHistogram:           FineBuckets,
+	GCPauseHistogram:          FineBuckets,
+	SchedLatencyHistogram:     FineBuckets,
 }
 
 // Counter is a monotonically increasing counter.
