@@ -1,16 +1,18 @@
 # Standard pre-merge gate: `make check` runs vet, the full test suite, the
 # race detector over the concurrency-bearing packages (telemetry, service,
-# client, and the parallel sweep engine in core/pipeline/platforms), a
-# short loadgen smoke that exercises the serving path end-to-end, and a
-# perf-tracking smoke (mlaas-perf run/compare/report against perf/results/).
+# client, wire, and the parallel sweep engine in core/pipeline/platforms), a
+# short loadgen smoke that exercises the serving path end-to-end, a wire
+# smoke (binary-vs-JSON equivalence over a live server + decoder fuzz seed
+# corpus), and a perf-tracking smoke (mlaas-perf run/compare/report against
+# perf/results/).
 # CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
 
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
-	./internal/pipeline ./internal/platforms
+	./internal/wire ./internal/pipeline ./internal/platforms
 
-.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke perf-smoke perf-run perf-compare perf-report
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke perf-smoke perf-run perf-compare perf-report
 
 all: check
 
@@ -30,7 +32,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race bench-kernels loadgen-smoke trace-smoke perf-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke perf-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -45,6 +47,16 @@ trace-smoke:
 	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s \
 		-trace-out /tmp/mlaas-trace-smoke.jsonl >/dev/null
 	$(GO) run ./cmd/mlaas-trace /tmp/mlaas-trace-smoke.jsonl
+
+# Binary wire-path smoke: the JSON-oracle equivalence and negotiation tests
+# over a live in-process server, the decoder fuzz seed corpus (one pass —
+# malformed frames must 400, never panic), and a short binary-codec loadgen
+# run end to end. Extend the corpus with `go test -fuzz FuzzFrameDecoder
+# ./internal/wire`.
+wire-smoke:
+	$(GO) test -count=1 -run 'TestBinaryPredict|TestAccept|TestMultiFrame|TestPredictRejects' ./internal/service
+	$(GO) test -count=1 -run FuzzFrameDecoder ./internal/wire
+	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s -codec binary >/dev/null
 
 # Performance-tracking smoke: one single-iteration pass of the kernel trio
 # through mlaas-perf, then a report-only diff against the committed history

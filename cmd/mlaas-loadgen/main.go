@@ -5,8 +5,25 @@
 //
 //	mlaas-loadgen [-clients 4] [-batch 64] [-shards 0] [-duration 3s]
 //	              [-platform local] [-classifier mlp] [-feat scaler:standard]
-//	              [-seed 1] [-cache 128] [-url http://host:8080] [-out BENCH.json]
+//	              [-codec json|binary] [-seed 1] [-cache 128]
+//	              [-url http://host:8080] [-out BENCH.json]
 //	              [-perf-dir perf/results] [-perf-label loadgen]
+//	              [-saturate auto|r1,r2,...] [-saturate-duration 2s]
+//	              [-admit-concurrency NumCPU] [-admit-queue 64]
+//
+// -codec binary sends predict bodies as internal/wire binary frames instead
+// of JSON (and receives binary label frames back) — same requests, same
+// labels, less encode/decode work per request. Reports record the codec;
+// perf history series keep their names so codec changes show up as steps in
+// the same trajectory.
+//
+// -saturate switches from closed-loop to open-loop: arrivals are offered at
+// fixed rates regardless of completions, and the report becomes a goodput
+// vs offered-load curve with its knee. "auto" first measures closed-loop
+// capacity, then sweeps 0.5x..3x of it. In-process saturation runs start
+// the server with admission control (-admit-concurrency/-admit-queue) so
+// excess load is shed with 503 + Retry-After and goodput stays flat past
+// the knee; sheds are counted separately from errors via the status code.
 //
 // -perf-dir additionally appends the run to the committed perf history in
 // the same record schema mlaas-perf writes, so loadgen throughput and
@@ -37,6 +54,7 @@ import (
 	"log"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -76,6 +94,7 @@ type Report struct {
 	Platform   string       `json:"platform"`
 	Classifier string       `json:"classifier"`
 	Config     string       `json:"config"`
+	Codec      string       `json:"codec"`
 	DatasetN   int          `json:"dataset_n"`
 	DatasetD   int          `json:"dataset_d"`
 	Clients    int          `json:"clients"`
@@ -85,6 +104,8 @@ type Report struct {
 	Passes     []PassReport `json:"passes"`
 	// SpeedupRPS is forward req/s over refit req/s (0 for remote runs).
 	SpeedupRPS float64 `json:"speedup_rps,omitempty"`
+	// Saturation is set by -saturate runs (goodput vs offered load).
+	Saturation *SaturationReport `json:"saturation,omitempty"`
 }
 
 func main() {
@@ -99,6 +120,11 @@ func main() {
 		duration   = flag.Duration("duration", 3*time.Second, "measured duration per pass")
 		seed       = flag.Uint64("seed", 1, "training seed")
 		cache      = flag.Int("cache", service.DefaultModelCacheModels, "model-cache size for the forward pass (in-process mode)")
+		codecName  = flag.String("codec", "json", "predict body codec: json or binary (the internal/wire frame format)")
+		saturate   = flag.String("saturate", "", `offered-load sweep: "auto" (multiples of measured capacity) or comma-separated req/s rates; replaces the closed-loop passes`)
+		satDur     = flag.Duration("saturate-duration", 2*time.Second, "measured duration per saturation point")
+		admitConc  = flag.Int("admit-concurrency", runtime.NumCPU(), "admission slots for the in-process saturation server (0 disables load shedding)")
+		admitQueue = flag.Int("admit-queue", service.DefaultAdmissionQueue, "admission waiting-queue bound for the in-process saturation server")
 		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
 		perfDir    = flag.String("perf-dir", "", "also append this run as a perf history record (same schema as mlaas-perf run) into this directory, e.g. perf/results")
 		perfLabel  = flag.String("perf-label", "loadgen", "label stamped on the perf history record")
@@ -106,6 +132,11 @@ func main() {
 		telSummary = flag.Bool("telemetry", false, "print each pass's telemetry summary to stderr")
 	)
 	flag.Parse()
+
+	codec := client.Codec(*codecName)
+	if codec != client.CodecJSON && codec != client.CodecBinary {
+		log.Fatalf("loadgen: bad -codec %q: want json or binary", *codecName)
+	}
 
 	cfg := pipeline.Config{
 		Feat:       parseFeat(*feat),
@@ -123,6 +154,7 @@ func main() {
 		Platform:   *platform,
 		Classifier: *classifier,
 		Config:     cfg.String(),
+		Codec:      string(codec),
 		DatasetN:   ds.N(),
 		DatasetD:   ds.D(),
 		Clients:    *clients,
@@ -136,9 +168,31 @@ func main() {
 	// fit-once telemetry never mix, and a pass's exported traces contain
 	// both sides of each request stitch.
 	var passRegs []*telemetry.Registry
-	if *url != "" {
+	if *saturate != "" {
+		// Open-loop saturation sweep: offered load is fixed per point,
+		// goodput and sheds are measured. In-process mode runs the server
+		// with admission control on so goodput stays flat past the knee.
 		reg := telemetry.NewRegistry()
-		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration, reg)
+		target := *url
+		if target == "" {
+			srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).
+				WithRegistry(reg).
+				WithModelCache(*cache).
+				WithPredictShards(*shards).
+				WithAdmission(*admitConc, *admitQueue).
+				Handler())
+			defer srv.Close()
+			target = srv.URL
+		}
+		sat, err := runSaturation(target, *platform, cfg, sp, *seed, *clients, *batch, codec, *saturate, *satDur, reg)
+		if err != nil {
+			log.Fatalf("loadgen: saturation sweep: %v", err)
+		}
+		rep.Saturation = sat
+		passRegs = append(passRegs, reg)
+	} else if *url != "" {
+		reg := telemetry.NewRegistry()
+		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
@@ -158,7 +212,7 @@ func main() {
 				WithModelCache(arm.cache).
 				WithPredictShards(*shards).
 				Handler())
-			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, reg)
+			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
 			srv.Close()
 			if err != nil {
 				log.Fatalf("loadgen: %s pass: %v", arm.name, err)
@@ -172,7 +226,11 @@ func main() {
 	}
 	if *telSummary {
 		for i, reg := range passRegs {
-			fmt.Fprintf(os.Stderr, "--- %s pass telemetry ---\n", rep.Passes[i].Name)
+			name := "saturation"
+			if i < len(rep.Passes) {
+				name = rep.Passes[i].Name
+			}
+			fmt.Fprintf(os.Stderr, "--- %s pass telemetry ---\n", name)
 			telemetry.WriteSummary(os.Stderr, reg)
 		}
 	}
@@ -214,12 +272,26 @@ func perfRecord(rep Report, label string) *perf.Record {
 		Time:   time.Now().UTC(),
 		Env:    perf.CurrentEnv(),
 		Source: "mlaas-loadgen " + strings.Join(os.Args[1:], " "),
-		Notes: fmt.Sprintf("closed-loop loadgen: %s %s, %d clients, batch %d",
-			rep.Platform, rep.Config, rep.Clients, rep.Batch),
+		Notes: fmt.Sprintf("closed-loop loadgen: %s %s, %d clients, batch %d, codec %s",
+			rep.Platform, rep.Config, rep.Clients, rep.Batch, rep.Codec),
 	}
 	for _, p := range rep.Passes {
 		rec.Results = append(rec.Results,
 			perf.LoadgenResults("loadgen/"+p.Name, p.ReqPerSec, p.InstPerSec, p.MeanMs, p.P50Ms, p.P95Ms, p.P99Ms)...)
+	}
+	if s := rep.Saturation; s != nil {
+		one := func(name, unit string, v float64) perf.Result {
+			r := perf.Result{Name: name, Unit: unit, Runs: []float64{v}, HigherIsBetter: perf.HigherBetterUnit(unit)}
+			r.Finalize()
+			return r
+		}
+		rec.Notes = fmt.Sprintf("open-loop saturation sweep: %s %s, batch %d, codec %s",
+			rep.Platform, rep.Config, rep.Batch, rep.Codec)
+		rec.Results = append(rec.Results,
+			one("loadgen/saturation/knee", "req/s", s.KneeRPS),
+			one("loadgen/saturation/peak_goodput", "req/s", s.PeakGoodputRPS),
+			one("loadgen/saturation/goodput_at_2x_knee", "req/s", s.GoodputAt2xKneeRPS),
+		)
 	}
 	return rec
 }
@@ -232,12 +304,16 @@ func exportTraces(path string, passes []PassReport, regs []*telemetry.Registry) 
 		return err
 	}
 	for i, reg := range regs {
+		name := "saturation"
+		if i < len(passes) {
+			name = passes[i].Name
+		}
 		traces := reg.Traces().Snapshot()
 		for j := range traces {
 			if traces[j].Root.Attrs == nil {
 				traces[j].Root.Attrs = map[string]string{}
 			}
-			traces[j].Root.Attrs["pass"] = passes[i].Name
+			traces[j].Root.Attrs["pass"] = name
 		}
 		if err := telemetry.WriteTraceJSONL(f, traces); err != nil {
 			_ = f.Close()
@@ -250,9 +326,9 @@ func exportTraces(path string, passes []PassReport, regs []*telemetry.Registry) 
 // runPass uploads + trains once, then runs closed-loop predict clients
 // against the model until the deadline. Every client records into reg, the
 // same registry the pass's in-process server uses.
-func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch int, d time.Duration, reg *telemetry.Registry) (PassReport, error) {
+func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch int, d time.Duration, codec client.Codec, reg *telemetry.Registry) (PassReport, error) {
 	ctx := context.Background()
-	c := client.New(url)
+	c := client.New(url).WithCodec(codec)
 	c.Telemetry = reg
 	dsID, err := c.Upload(ctx, platform, sp.Train)
 	if err != nil {
@@ -289,7 +365,7 @@ func runPass(name, url, platform string, cfg pipeline.Config, sp dataset.Split, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl := client.New(url)
+			cl := client.New(url).WithCodec(codec)
 			cl.Telemetry = reg
 			var local []float64
 			localErrs := 0
@@ -374,8 +450,8 @@ func parseFeat(s string) pipeline.Feat {
 }
 
 func printSummary(rep Report) {
-	fmt.Printf("workload: %s %s on %dx%d points, %d clients, batch %d\n",
-		rep.Platform, rep.Config, rep.DatasetN, rep.DatasetD, rep.Clients, rep.Batch)
+	fmt.Printf("workload: %s %s on %dx%d points, %d clients, batch %d, codec %s\n",
+		rep.Platform, rep.Config, rep.DatasetN, rep.DatasetD, rep.Clients, rep.Batch, rep.Codec)
 	for _, p := range rep.Passes {
 		fmt.Printf("  %-8s %6d reqs (%d errs) in %5.2fs  %8.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  row mean %.4fms  row p95 %.4fms\n",
 			p.Name, p.Requests, p.Errors, p.DurationSec, p.ReqPerSec, p.P50Ms, p.P95Ms, p.P99Ms, p.RowMeanMs, p.RowP95Ms)
@@ -383,4 +459,23 @@ func printSummary(rep Report) {
 	if rep.SpeedupRPS > 0 {
 		fmt.Printf("  forward vs refit speedup: %.1fx req/s\n", rep.SpeedupRPS)
 	}
+	if s := rep.Saturation; s != nil {
+		if s.CapacityRPS > 0 {
+			fmt.Printf("  closed-loop capacity: %.1f req/s\n", s.CapacityRPS)
+		}
+		for _, pt := range s.Points {
+			fmt.Printf("  offered %8.1f req/s  goodput %8.1f req/s  shed %8.1f req/s (%d)  dropped %d  errs %d  p95 %.2fms\n",
+				pt.OfferedRPS, pt.GoodputRPS, pt.ShedRPS, pt.Shed, pt.Dropped, pt.Errors, pt.P95Ms)
+		}
+		fmt.Printf("  knee %.1f req/s, peak goodput %.1f req/s, goodput at 2x knee %.1f req/s (%.0f%% of peak)\n",
+			s.KneeRPS, s.PeakGoodputRPS, s.GoodputAt2xKneeRPS, 100*safeRatio(s.GoodputAt2xKneeRPS, s.PeakGoodputRPS))
+	}
+}
+
+// safeRatio is a/b guarding the b==0 edge.
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }

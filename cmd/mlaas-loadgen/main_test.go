@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mlaasbench/internal/client"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
@@ -36,7 +37,7 @@ func TestPassTelemetryIsolation(t *testing.T) {
 			WithRegistry(reg).
 			WithModelCache(arm.cache).
 			Handler())
-		pass, err := runPass(arm.name, srv.URL, "local", cfg, sp, 1, 2, 16, 300*time.Millisecond, reg)
+		pass, err := runPass(arm.name, srv.URL, "local", cfg, sp, 1, 2, 16, 300*time.Millisecond, client.CodecJSON, reg)
 		srv.Close()
 		if err != nil {
 			t.Fatalf("%s pass: %v", arm.name, err)

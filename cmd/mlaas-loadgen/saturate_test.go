@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
+)
+
+// TestAnalyzeSaturation pins the knee detector on hand-built curves.
+func TestAnalyzeSaturation(t *testing.T) {
+	pt := func(offered, goodput float64) SaturationPoint {
+		return SaturationPoint{OfferedRPS: offered, GoodputRPS: goodput}
+	}
+	t.Run("flat past knee", func(t *testing.T) {
+		// Climbs to ~100, admission keeps it flat: knee at the first point
+		// within 95% of peak, and goodput at 2x knee equals the plateau.
+		points := []SaturationPoint{
+			pt(50, 50), pt(75, 75), pt(100, 98), pt(150, 100), pt(200, 99), pt(300, 97),
+		}
+		knee, peak, at2x := analyzeSaturation(points)
+		if knee != 100 {
+			t.Errorf("knee=%v, want 100", knee)
+		}
+		if peak != 100 {
+			t.Errorf("peak=%v, want 100", peak)
+		}
+		if at2x != 99 {
+			t.Errorf("goodput at 2x knee=%v, want 99 (the offered=200 point)", at2x)
+		}
+	})
+	t.Run("collapse past knee", func(t *testing.T) {
+		// No admission control: goodput collapses, and the 2x-knee reading
+		// exposes it (40 against a peak of 100).
+		points := []SaturationPoint{pt(50, 50), pt(100, 100), pt(200, 40), pt(300, 10)}
+		knee, peak, at2x := analyzeSaturation(points)
+		if knee != 100 || peak != 100 {
+			t.Errorf("knee=%v peak=%v, want 100/100", knee, peak)
+		}
+		if at2x != 40 {
+			t.Errorf("goodput at 2x knee=%v, want 40", at2x)
+		}
+	})
+	t.Run("sweep never reaches 2x knee", func(t *testing.T) {
+		points := []SaturationPoint{pt(80, 80), pt(100, 100)}
+		if _, _, at2x := analyzeSaturation(points); at2x != 0 {
+			t.Errorf("goodput at 2x knee=%v, want 0 when unreached", at2x)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if knee, peak, at2x := analyzeSaturation(nil); knee != 0 || peak != 0 || at2x != 0 {
+			t.Errorf("empty sweep = %v/%v/%v, want zeros", knee, peak, at2x)
+		}
+	})
+}
+
+// TestOpenLoopAccounting drives the open-loop pass against stub servers so
+// the three outcome classes are deterministic: a 503 + Retry-After stub is
+// all sheds, an OK stub is all goodput, a 500 stub is all errors — and the
+// shed path must not trigger client retries (open loop, MaxRetries < 0).
+func TestOpenLoopAccounting(t *testing.T) {
+	ctx := context.Background()
+	instances := [][]float64{{1, 2, 3}}
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+		check   func(t *testing.T, p SaturationPoint, served int)
+	}{
+		{"all shed", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"admission queue full","code":"overloaded"}`))
+		}, func(t *testing.T, p SaturationPoint, served int) {
+			if p.Good != 0 || p.Errors != 0 || p.Shed == 0 {
+				t.Errorf("shed stub: good=%d shed=%d errs=%d, want all shed", p.Good, p.Shed, p.Errors)
+			}
+			// The warm-up predicts hit the stub too; beyond them, one HTTP
+			// request per shed — sheds must not be retried.
+			if served != p.Shed+openLoopWarmup {
+				t.Errorf("server saw %d requests for %d sheds (+%d warm-ups); sheds must not be retried",
+					served, p.Shed, openLoopWarmup)
+			}
+		}},
+		{"all good", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"labels":[0]}`))
+		}, func(t *testing.T, p SaturationPoint, served int) {
+			if p.Shed != 0 || p.Errors != 0 || p.Good == 0 {
+				t.Errorf("ok stub: good=%d shed=%d errs=%d, want all good", p.Good, p.Shed, p.Errors)
+			}
+			if p.GoodputRPS <= 0 {
+				t.Errorf("goodput=%v, want > 0", p.GoodputRPS)
+			}
+		}},
+		{"all errors", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"boom"}`))
+		}, func(t *testing.T, p SaturationPoint, served int) {
+			if p.Good != 0 || p.Shed != 0 || p.Errors == 0 {
+				t.Errorf("error stub: good=%d shed=%d errs=%d, want all errors", p.Good, p.Shed, p.Errors)
+			}
+			if served != p.Errors+openLoopWarmup {
+				t.Errorf("server saw %d requests for %d errors (+%d warm-ups); open loop must not retry",
+					served, p.Errors, openLoopWarmup)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var served atomic.Int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				served.Add(1)
+				tc.handler(w, r)
+			}))
+			defer srv.Close()
+			reg := telemetry.NewRegistry()
+			p := runOpenLoop(ctx, srv.URL, "local", "m1", instances, 200, client.CodecJSON, 200*time.Millisecond, reg)
+			if p.Requests == 0 {
+				t.Fatal("open loop completed no arrivals")
+			}
+			tc.check(t, p, int(served.Load()))
+		})
+	}
+}
+
+// TestSaturationSweepEndToEnd runs a tiny explicit-rate sweep against an
+// in-process admission-controlled server — the -saturate path minus the CLI
+// — and checks the artifact shape plus Default-registry isolation for the
+// new codec/admission metric families.
+func TestSaturationSweepEndToEnd(t *testing.T) {
+	cfg := pipeline.Config{Feat: parseFeat(""), Classifier: "logreg", Params: map[string]any{}}
+	ds := synth.GenerateClean(synth.Spec{
+		Name: "sat", Gen: synth.GenLinear, N: 120, D: 4, Noise: 0.2,
+	}, synth.Quick, 1)
+	sp := ds.StratifiedSplit(0.7, rng.New(7))
+
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).
+		WithRegistry(reg).
+		WithAdmission(2, 8).
+		Handler())
+	defer srv.Close()
+
+	rep, err := runSaturation(srv.URL, "local", cfg, sp, 1, 2, 16, client.CodecBinary, "50,100", 250*time.Millisecond, reg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points for 2 rates", len(rep.Points))
+	}
+	if rep.Points[0].OfferedRPS != 50 || rep.Points[1].OfferedRPS != 100 {
+		t.Errorf("rates not ascending: %v, %v", rep.Points[0].OfferedRPS, rep.Points[1].OfferedRPS)
+	}
+	total := 0
+	for _, p := range rep.Points {
+		total += p.Good
+	}
+	if total == 0 {
+		t.Fatal("sweep produced no successful predicts")
+	}
+	if rep.KneeRPS <= 0 || rep.PeakGoodputRPS <= 0 {
+		t.Errorf("knee=%v peak=%v, want > 0", rep.KneeRPS, rep.PeakGoodputRPS)
+	}
+	// Binary-codec traffic landed in the pass registry, not the default one.
+	if n := reg.Counter(telemetry.CodecRequestsTotal, "codec", "binary").Value(); n == 0 {
+		t.Error("pass registry saw no binary-codec predicts")
+	}
+	if n := reg.Counter(telemetry.AdmissionAdmittedTotal, "route", "predict").Value(); n == 0 {
+		t.Error("pass registry saw no admitted requests")
+	}
+	for _, name := range []string{telemetry.CodecRequestsTotal, telemetry.AdmissionAdmittedTotal, telemetry.AdmissionShedTotal} {
+		if v := sumCounters(telemetry.Default(), name); v != 0 {
+			t.Errorf("default registry %s=%d; sweep must stay in its own registry", name, v)
+		}
+	}
+	if n := telemetry.Default().Histogram(telemetry.WireFrameBytesHistogram, "dir", "rx").Count(); n != 0 {
+		t.Errorf("default registry saw %d rx frames; sweep must stay in its own registry", n)
+	}
+}
+
+// sumCounters totals one family's counters across label values on reg.
+func sumCounters(reg *telemetry.Registry, name string) int64 {
+	var total int64
+	for _, route := range []string{"predict"} {
+		total += reg.Counter(name, "route", route).Value()
+	}
+	for _, codec := range []string{"json", "binary"} {
+		total += reg.Counter(name, "codec", codec).Value()
+	}
+	return total
+}

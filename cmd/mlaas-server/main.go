@@ -3,13 +3,25 @@
 // Usage:
 //
 //	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
-//	             [-predict-shards 0] [-log-format text|json]
+//	             [-predict-shards 0] [-admit-concurrency 0] [-admit-queue 64]
+//	             [-log-format text|json]
 //	             [-log-level debug|info|warn|error] [-slow-request 250ms]
 //	             [-health-interval 5s]
 //
 // -predict-shards splits each predict request's forward pass across that
 // many row shards (0 = one per CPU, 1 = serial). Predictions are
 // byte-identical at any setting; only latency changes.
+//
+// -admit-concurrency bounds how many predict requests execute at once;
+// -admit-queue bounds how many more may wait for a slot. Load beyond both
+// is shed immediately with 503 + Retry-After so goodput stays flat past
+// saturation instead of collapsing (admission counters are on /metrics).
+//
+// The predict endpoint speaks two codecs, negotiated per request: the
+// default JSON body, and the binary frame format in internal/wire
+// (Content-Type/Accept: application/x-mlaas-frames) — raw little-endian
+// float64 rows in, int64 labels out, byte-identical predictions across
+// codecs. See the README "Wire protocol" section.
 //
 // The API mirrors the 2016-era services the paper measured:
 //
@@ -74,6 +86,10 @@ func main() {
 		"requests slower than this log at Warn; 0 disables the escalation")
 	healthInterval := flag.Duration("health-interval", 5*time.Second,
 		"runtime health sampling interval (goroutines, heap, GC pauses, sched latency); 0 disables the sampler")
+	admitConcurrency := flag.Int("admit-concurrency", 0,
+		"max predict requests executing at once; excess queues up to -admit-queue, then sheds with 503 + Retry-After (0 disables admission control)")
+	admitQueue := flag.Int("admit-queue", service.DefaultAdmissionQueue,
+		"max predict requests waiting for an execution slot before load shedding starts")
 	flag.Parse()
 
 	logf := log.Printf
@@ -102,6 +118,7 @@ func main() {
 		Handler: service.NewServer(logf).
 			WithModelCache(*modelCache).
 			WithPredictShards(*predictShards).
+			WithAdmission(*admitConcurrency, *admitQueue).
 			WithLogger(logger).
 			WithSlowRequestThreshold(*slowReq).
 			Handler(),

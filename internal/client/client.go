@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
 	"mlaasbench/internal/telemetry"
+	"mlaasbench/internal/wire"
 )
 
 // DefaultMaxBackoff caps the exponential retry delay. Without a cap the
@@ -40,8 +42,49 @@ const DefaultMaxBackoff = 5 * time.Second
 // caller does not choose a chunk size. Unbounded batches put the whole
 // query set in one JSON body — the real services all rejected that with
 // payload limits, and server-side decode buffers stop pooling once bodies
-// outgrow them.
+// outgrow them. On the binary codec the same value is the frame size: the
+// whole query set still travels in one request, chunked into frames.
 const DefaultPredictBatch = 512
+
+// Connection-pool defaults for the client's HTTP transport. A measurement
+// campaign hammers one host with many concurrent closed-loop clients; the
+// stdlib default of 2 idle connections per host closes and re-dials almost
+// every connection under concurrency, which shows up as connect latency
+// and TIME_WAIT churn rather than serving time.
+const (
+	DefaultMaxIdleConnsPerHost = 64
+	DefaultIdleConnTimeout     = 90 * time.Second
+)
+
+// Codec selects the predict request/response body format.
+type Codec string
+
+const (
+	// CodecJSON is the default reflection-based JSON body — the
+	// compatibility oracle every other codec is asserted against.
+	CodecJSON Codec = "json"
+	// CodecBinary is the length-prefixed frame format in internal/wire:
+	// raw little-endian float64 rows in, int64 labels out, negotiated via
+	// Content-Type/Accept. Predictions are byte-identical to CodecJSON.
+	CodecBinary Codec = "binary"
+)
+
+// NewTransport returns the tuned *http.Transport the client dials with by
+// default: keep-alives on, a deep per-host idle pool, and an idle timeout
+// that outlives request gaps within a sweep. Callers needing proxies or
+// TLS settings can mutate the result before installing it WithTransport.
+func NewTransport() *http.Transport {
+	t := &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          0, // no global cap; the per-host bound governs
+		MaxIdleConnsPerHost:   DefaultMaxIdleConnsPerHost,
+		IdleConnTimeout:       DefaultIdleConnTimeout,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+	return t
+}
 
 // Client talks to one MLaaS service endpoint.
 type Client struct {
@@ -50,8 +93,12 @@ type Client struct {
 	// HTTPClient defaults to a client with a 30s timeout.
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts for transient failures (5xx and
-	// transport errors). Default 3.
+	// transport errors). Default 3; negative disables retries entirely
+	// (open-loop load generators want sheds surfaced, not retried).
 	MaxRetries int
+	// Codec selects the predict body format (CodecJSON default). Only the
+	// predictions endpoint negotiates; every other call is always JSON.
+	Codec Codec
 	// Backoff is the initial retry delay, doubled per attempt up to
 	// MaxBackoff. Default 100ms.
 	Backoff time.Duration
@@ -75,15 +122,34 @@ type Client struct {
 	jitter *rng.RNG
 }
 
-// New returns a client for the given base URL with default settings.
+// New returns a client for the given base URL with default settings,
+// including the tuned connection pool (NewTransport).
 func New(baseURL string) *Client {
 	return &Client{
 		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		HTTPClient: &http.Client{Timeout: 30 * time.Second, Transport: NewTransport()},
 		MaxRetries: 3,
 		Backoff:    100 * time.Millisecond,
 		MaxBackoff: DefaultMaxBackoff,
 	}
+}
+
+// WithTransport swaps the underlying RoundTripper and returns the client
+// (chainable) — the hook for custom TLS, proxies, or instrumented
+// transports while keeping the client's retry/telemetry discipline.
+func (c *Client) WithTransport(rt http.RoundTripper) *Client {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	c.HTTPClient.Transport = rt
+	return c
+}
+
+// WithCodec selects the predict body codec and returns the client
+// (chainable).
+func (c *Client) WithCodec(codec Codec) *Client {
+	c.Codec = codec
+	return c
 }
 
 func (c *Client) registry() *telemetry.Registry {
@@ -192,20 +258,55 @@ func IsRetryable(err error) bool {
 	return err != nil
 }
 
-// do executes one JSON request with retries and rate limiting. op is the
-// logical endpoint name used as the telemetry label ("upload", "train",
-// ...). One request id covers every retry of the same logical call, and so
-// does one "rpc:<op>" span: the span's trace context travels in the
-// Traceparent header, so the server's handler tree stitches under this
-// client span, with backoff sleeps and rate-limit waits as siblings.
-func (c *Client) do(ctx context.Context, op, method, path string, body, out any) (err error) {
+// StatusCode extracts the HTTP status from an API error (0 for transport
+// or non-API errors). Load generators use it to split admission sheds
+// (503) from real failures.
+func StatusCode(err error) int {
+	if ae, ok := err.(*apiErr); ok {
+		return ae.Status
+	}
+	return 0
+}
+
+// do executes one JSON request through doRaw: marshal the body, decode the
+// response into out.
+func (c *Client) do(ctx context.Context, op, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+	}
+	return c.doRaw(ctx, op, method, path, "application/json", "", payload, func(data []byte) error {
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	})
+}
+
+// doRaw executes one request with retries and rate limiting over an
+// arbitrary body codec. op is the logical endpoint name used as the
+// telemetry label ("upload", "train", ...). One request id covers every
+// retry of the same logical call, and so does one "rpc:<op>" span: the
+// span's trace context travels in the Traceparent header, so the server's
+// handler tree stitches under this client span, with backoff sleeps and
+// rate-limit waits as siblings. A 503 carrying Retry-After raises the next
+// backoff sleep to at least the server's hint — shed requests return when
+// the admission queue says to, not sooner. Error bodies are always the
+// JSON envelope regardless of codec; decode only ever sees 2xx bodies.
+func (c *Client) doRaw(ctx context.Context, op, method, path, contentType, accept string, payload []byte, decode func([]byte) error) (err error) {
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 30 * time.Second}
 	}
 	retries := c.MaxRetries
-	if retries <= 0 {
+	if retries == 0 {
 		retries = 3
+	} else if retries < 0 {
+		retries = 0 // explicit opt-out: fail fast, surface sheds
 	}
 	backoff := c.Backoff
 	if backoff <= 0 {
@@ -232,18 +333,20 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 		rpc.End()
 	}()
 
-	var payload []byte
-	if body != nil {
-		payload, err = json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("client: marshal request: %w", err)
-		}
-	}
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			reg.Counter("mlaas_client_retries_total", "endpoint", op).Inc()
-			sleep := c.jitteredSleep(backoff)
+			nominal := backoff
+			if retryAfter > nominal {
+				nominal = retryAfter
+				if nominal > maxBackoff {
+					nominal = maxBackoff
+				}
+			}
+			retryAfter = 0
+			sleep := c.jitteredSleep(nominal)
 			reg.Histogram("mlaas_client_backoff_seconds", "endpoint", op).Observe(sleep.Seconds())
 			_, bspan := telemetry.StartSpan(ctx, "backoff")
 			select {
@@ -272,7 +375,10 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 		if err != nil {
 			return fmt.Errorf("client: build request: %w", err)
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
 		req.Header.Set(telemetry.RequestIDHeader, reqID)
 		req.Header.Set(telemetry.TraceParentHeader, traceparent)
 		attemptStart := time.Now()
@@ -298,12 +404,17 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 				reg.Counter("mlaas_client_errors_total", "endpoint", op).Inc()
 				return lastErr
 			}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			} else {
+				retryAfter = 0
+			}
 			continue
 		}
-		if out == nil {
+		if decode == nil {
 			return nil
 		}
-		if err := json.Unmarshal(data, out); err != nil {
+		if err := decode(data); err != nil {
 			return fmt.Errorf("client: decode response (request %s): %w", reqID, err)
 		}
 		return nil
@@ -354,24 +465,61 @@ func (c *Client) Train(ctx context.Context, platform, datasetID string, cfg pipe
 	return out.ID, nil
 }
 
-// Predict queries a model with instances and returns predicted labels.
+// Predict queries a model with instances and returns predicted labels,
+// over the client's configured codec (one frame / one JSON body).
 func (c *Client) Predict(ctx context.Context, platform, modelID string, instances [][]float64) ([]int, error) {
+	if c.Codec == CodecBinary {
+		return c.predictWire(ctx, platform, modelID, instances, 0)
+	}
 	req := service.PredictRequest{Instances: instances}
 	var out service.PredictResponse
-	if err := c.do(ctx, "predict", http.MethodPost, "/v1/platforms/"+platform+"/models/"+modelID+"/predictions", req, &out); err != nil {
+	if err := c.do(ctx, "predict", http.MethodPost, predictPath(platform, modelID), req, &out); err != nil {
 		return nil, err
 	}
 	return out.Labels, nil
 }
 
+// predictWire runs one binary predict: the instances encoded as a stream
+// of frames of at most chunk rows (0 = one frame), decoded label frames
+// back. The frame body is assembled in a pooled buffer and retries resend
+// it verbatim.
+func (c *Client) predictWire(ctx context.Context, platform, modelID string, instances [][]float64, chunk int) ([]int, error) {
+	payload := wire.EncodeMatrixStream(wire.GetBuffer(), instances, chunk)
+	defer wire.PutBuffer(payload)
+	var labels []int
+	err := c.doRaw(ctx, "predict", http.MethodPost, predictPath(platform, modelID),
+		wire.ContentType, wire.ContentType, payload, func(data []byte) error {
+			var err error
+			labels, err = wire.DecodeLabelsStream(bytes.NewReader(data))
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+func predictPath(platform, modelID string) string {
+	return "/v1/platforms/" + platform + "/models/" + modelID + "/predictions"
+}
+
 // PredictBatched queries a model in chunks of at most batch instances
 // (batch <= 0 means DefaultPredictBatch) and stitches the labels back in
-// instance order. Each chunk is its own logical request with the client's
-// full retry/rate-limit discipline, so one flaky chunk does not resend the
-// whole query set.
+// instance order.
+//
+// On the JSON codec each chunk is its own logical request with the
+// client's full retry/rate-limit discipline, so one flaky chunk does not
+// resend the whole query set; the pooled transport keeps the chunks on one
+// warm connection. On the binary codec the whole query set pipelines
+// through a single request as a stream of batch-row frames — the server
+// predicts frame by frame as they arrive, so there is no re-dial, no
+// per-chunk HTTP overhead, and no giant contiguous payload on either side.
 func (c *Client) PredictBatched(ctx context.Context, platform, modelID string, instances [][]float64, batch int) ([]int, error) {
 	if batch <= 0 {
 		batch = DefaultPredictBatch
+	}
+	if c.Codec == CodecBinary {
+		return c.predictWire(ctx, platform, modelID, instances, batch)
 	}
 	if len(instances) <= batch {
 		return c.Predict(ctx, platform, modelID, instances)

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync/atomic"
+	"testing"
+
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
+)
+
+// newServingFixture stands up an in-process server with one trained logreg
+// model and returns (server URL, model id, test instances).
+func newServingFixture(t *testing.T, reg *telemetry.Registry) (string, string, [][]float64, func()) {
+	t.Helper()
+	srv := httptest.NewServer(service.NewServer(func(string, ...any) {}).WithRegistry(reg).Handler())
+	ds := synth.GenerateClean(synth.Spec{Name: "pool", Gen: synth.GenLinear, N: 120, D: 5, Noise: 0.2}, synth.Quick, 1)
+	sp := ds.StratifiedSplit(0.7, rng.New(7))
+	c := New(srv.URL)
+	c.Telemetry = reg
+	ctx := context.Background()
+	dsID, err := c.Upload(ctx, "local", sp.Train)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	cfg := pipeline.Config{Feat: pipeline.Feat{Kind: "none"}, Classifier: "logreg", Params: map[string]any{}}
+	modelID, err := c.Train(ctx, "local", dsID, cfg, 1)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return srv.URL, modelID, sp.Test.X, srv.Close
+}
+
+// TestBatchedPredictReusesConnections asserts the tuned transport keeps
+// batched predicts on warm connections: many requests, at most a handful
+// of dials. Regression guard for the connection-pool defaults
+// (MaxIdleConnsPerHost, keep-alives) — with the stdlib per-host idle cap
+// of 2 under churn, or keep-alives off, dials track requests instead.
+func TestBatchedPredictReusesConnections(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	url, modelID, test, closeSrv := newServingFixture(t, reg)
+	defer closeSrv()
+
+	var dials atomic.Int64
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		ConnectStart: func(network, addr string) { dials.Add(1) },
+	})
+
+	c := New(url)
+	c.Telemetry = reg
+	const rounds = 8
+	const batch = 4 // test set of ~36 rows → ~9 requests per round
+	requests := 0
+	for i := 0; i < rounds; i++ {
+		labels, err := c.PredictBatched(ctx, "local", modelID, test, batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if len(labels) != len(test) {
+			t.Fatalf("round %d: got %d labels for %d rows", i, len(labels), len(test))
+		}
+		requests += (len(test) + batch - 1) / batch
+	}
+	if requests < 20 {
+		t.Fatalf("fixture too small to prove reuse: only %d requests", requests)
+	}
+	if d := dials.Load(); d > 2 {
+		t.Errorf("%d dials for %d sequential requests; connection pool is not reusing (want <= 2)", d, requests)
+	}
+}
+
+// TestBinaryPredictBatchedSingleRequest asserts the binary codec sends one
+// multi-frame request for a batched predict — no re-dial AND no per-chunk
+// request — and stitches labels identical to the JSON path.
+func TestBinaryPredictBatchedSingleRequest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	url, modelID, test, closeSrv := newServingFixture(t, reg)
+	defer closeSrv()
+	ctx := context.Background()
+
+	jsonC := New(url)
+	jsonC.Telemetry = reg
+	want, err := jsonC.PredictBatched(ctx, "local", modelID, test, 4)
+	if err != nil {
+		t.Fatalf("json predict: %v", err)
+	}
+
+	binC := New(url).WithCodec(CodecBinary)
+	binC.Telemetry = reg
+	before := reg.Counter("mlaas_client_requests_total", "endpoint", "predict").Value()
+	got, err := binC.PredictBatched(ctx, "local", modelID, test, 4)
+	if err != nil {
+		t.Fatalf("binary predict: %v", err)
+	}
+	after := reg.Counter("mlaas_client_requests_total", "endpoint", "predict").Value()
+
+	if n := after - before; n != 1 {
+		t.Errorf("binary batched predict used %d requests, want 1 multi-frame request", n)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("label count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label %d: binary %d != json %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewTransportDefaults(t *testing.T) {
+	tr := NewTransport()
+	if tr.MaxIdleConnsPerHost != DefaultMaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConnsPerHost = %d, want %d", tr.MaxIdleConnsPerHost, DefaultMaxIdleConnsPerHost)
+	}
+	if tr.IdleConnTimeout != DefaultIdleConnTimeout {
+		t.Errorf("IdleConnTimeout = %v, want %v", tr.IdleConnTimeout, DefaultIdleConnTimeout)
+	}
+	if tr.DisableKeepAlives {
+		t.Error("keep-alives disabled on the default transport")
+	}
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/telemetry"
+)
+
+func newTestAdmission(concurrency, queue int) (*admission, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	return newAdmission("predict", concurrency, queue, func() *telemetry.Registry { return reg }), reg
+}
+
+// TestAdmissionShedsWhenFull: one slot, zero queue. The second concurrent
+// request sheds instead of waiting; after release the slot is reusable.
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	a, reg := newTestAdmission(1, 0)
+	ctx := context.Background()
+
+	release, ok := a.admit(ctx)
+	if !ok {
+		t.Fatal("first admit should get the free slot")
+	}
+	if _, ok := a.admit(ctx); ok {
+		t.Fatal("second admit should shed with the slot held and queue=0")
+	}
+	release()
+	release2, ok := a.admit(ctx)
+	if !ok {
+		t.Fatal("admit after release should succeed")
+	}
+	release2()
+
+	if n := reg.Counter(telemetry.AdmissionAdmittedTotal, "route", "predict").Value(); n != 2 {
+		t.Errorf("admitted=%d, want 2", n)
+	}
+	if n := reg.Counter(telemetry.AdmissionShedTotal, "route", "predict").Value(); n != 1 {
+		t.Errorf("shed=%d, want 1", n)
+	}
+	if d := reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict").Value(); d != 0 {
+		t.Errorf("queue depth=%d, want 0 at rest", d)
+	}
+}
+
+// TestAdmissionQueueWaitsForSlot: one slot, one queue position. A waiter
+// parks in the queue (visible on the depth gauge), is admitted when the
+// slot frees, and a third request arriving while the queue is occupied
+// sheds immediately.
+func TestAdmissionQueueWaitsForSlot(t *testing.T) {
+	a, reg := newTestAdmission(1, 1)
+	ctx := context.Background()
+	depth := reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict")
+
+	release, ok := a.admit(ctx)
+	if !ok {
+		t.Fatal("first admit should succeed")
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, ok := a.admit(ctx)
+		if !ok {
+			admitted <- nil
+			return
+		}
+		admitted <- rel
+	}()
+	waitFor(t, "waiter to park in the queue", func() bool { return depth.Value() == 1 })
+
+	if _, ok := a.admit(ctx); ok {
+		t.Fatal("third admit should shed: slot held, queue occupied")
+	}
+
+	release()
+	select {
+	case rel := <-admitted:
+		if rel == nil {
+			t.Fatal("queued waiter was shed instead of admitted")
+		}
+		rel()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted after release")
+	}
+	if d := depth.Value(); d != 0 {
+		t.Errorf("queue depth=%d, want 0 after drain", d)
+	}
+	if n := reg.Counter(telemetry.AdmissionShedTotal, "route", "predict").Value(); n != 1 {
+		t.Errorf("shed=%d, want 1", n)
+	}
+}
+
+// TestAdmissionContextCancelWhileQueued: a queued waiter whose context dies
+// counts as shed and leaves the gauge clean.
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a, reg := newTestAdmission(1, 4)
+	release, ok := a.admit(context.Background())
+	if !ok {
+		t.Fatal("first admit should succeed")
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := a.admit(ctx); ok {
+		t.Fatal("admit with dead context should shed")
+	}
+	if n := reg.Counter(telemetry.AdmissionShedTotal, "route", "predict").Value(); n != 1 {
+		t.Errorf("shed=%d, want 1", n)
+	}
+	if d := reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict").Value(); d != 0 {
+		t.Errorf("queue depth=%d, want 0 after cancellation", d)
+	}
+}
+
+// TestAdmissionShedHTTP drives the gate through the HTTP stack: with the
+// single slot occupied and no queue, a predict request gets 503 with the
+// Retry-After hint and the structured "overloaded" code — before any
+// platform or model lookup runs.
+func TestAdmissionShedHTTP(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewServer(func(string, ...any) {}).WithRegistry(reg).WithAdmission(1, 0)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	s.admit.slots <- struct{}{} // occupy the only execution slot
+	defer func() { <-s.admit.slots }()
+
+	resp, err := http.Post(srv.URL+"/v1/platforms/local/models/nope/predictions",
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After %q, want \"1\"", ra)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env apiError
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("shed envelope is not JSON: %v (%q)", err, raw)
+	}
+	if env.Code != codeOverloaded {
+		t.Errorf("code %q, want %q", env.Code, codeOverloaded)
+	}
+	if n := reg.Counter(telemetry.AdmissionShedTotal, "route", "predict").Value(); n != 1 {
+		t.Errorf("shed counter=%d, want 1", n)
+	}
+}
+
+// TestWithAdmissionDisabled: concurrency <= 0 leaves the route ungated.
+func TestWithAdmissionDisabled(t *testing.T) {
+	s := NewServer(func(string, ...any) {}).WithAdmission(0, 10)
+	if s.admit != nil {
+		t.Fatal("admission gate installed despite concurrency=0")
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -44,6 +44,7 @@ import (
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
 	"mlaasbench/internal/telemetry"
+	"mlaasbench/internal/wire"
 )
 
 // Server hosts every simulated platform under one HTTP handler.
@@ -62,6 +63,9 @@ type Server struct {
 	// predictShards bounds the goroutines one predict request's forward
 	// pass fans its rows across (0 = one per CPU, 1 = serial).
 	predictShards int
+	// admit, when non-nil, gates the predict route behind a bounded
+	// admission queue; excess load is shed with 503 + Retry-After.
+	admit *admission
 }
 
 type storedDataset struct {
@@ -167,7 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/platforms/{platform}/surface", s.instrument("surface", s.handleSurface))
 	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", s.instrument("upload", s.handleUpload))
 	mux.HandleFunc("POST /v1/platforms/{platform}/models", s.instrument("train", s.handleTrain))
-	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.admitted(s.handlePredict)))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
@@ -187,6 +191,11 @@ func (s *Server) describeMetrics() {
 	s.reg.Describe(telemetry.PredictPathHistogram, "Predict latency split by serving path (forward vs refit).")
 	s.reg.Describe(telemetry.PredictBatchSizeHistogram, "Instances per predict request (rows, power-of-two buckets).")
 	s.reg.Describe(telemetry.KernelHistogram, "Batch linalg kernel duration by kernel (gemm, gemm_nt, gemv, distance).")
+	s.reg.Describe(telemetry.CodecRequestsTotal, "Predict requests by wire codec (json or binary).")
+	s.reg.Describe(telemetry.WireFrameBytesHistogram, "Binary frame sizes in bytes, by direction (rx or tx).")
+	s.reg.Describe(telemetry.AdmissionAdmittedTotal, "Requests admitted past the admission queue, by route.")
+	s.reg.Describe(telemetry.AdmissionShedTotal, "Requests shed with 503 + Retry-After, by route.")
+	s.reg.Describe(telemetry.AdmissionQueueDepth, "Requests currently waiting in the admission queue, by route.")
 }
 
 // statusWriter captures the response status code for metrics.
@@ -343,17 +352,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // apiError is the uniform error envelope. RequestID carries the request's
-// correlation id so clients can match an error to server-side logs.
+// correlation id so clients can match an error to server-side logs; Code,
+// when present, is a stable machine-readable discriminator (load
+// generators key on it to split sheds from malformed payloads without
+// parsing prose).
 type apiError struct {
 	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
 }
 
+// Stable error codes for the predict path. Error responses are always the
+// JSON envelope regardless of the negotiated body codec.
+const (
+	codeBadRowWidth = "bad_row_width"
+	codeBadPayload  = "bad_payload"
+	codeNoInstances = "no_instances"
+	codeOverloaded  = "overloaded"
+)
+
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	s.failCode(w, r, code, "", format, args...)
+}
+
+func (s *Server) failCode(w http.ResponseWriter, r *http.Request, code int, errCode, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	reqID := telemetry.RequestID(r.Context())
 	s.logf("service: %d %s (request %s)", code, msg, reqID)
-	writeJSON(w, code, apiError{Error: msg, RequestID: reqID})
+	writeJSON(w, code, apiError{Error: msg, Code: errCode, RequestID: reqID})
 }
 
 // jsonBufPool recycles JSON encode/decode buffers across requests: the
@@ -656,6 +682,25 @@ type PredictResponse struct {
 	Labels []int `json:"labels"`
 }
 
+// negotiatePredict picks the request and response codecs. A binary body is
+// declared via Content-Type; the response follows the request codec unless
+// Accept explicitly asks for the other one (Accept: application/json on a
+// binary request downgrades the response; Accept: application/x-mlaas-frames
+// on a JSON request upgrades it).
+func negotiatePredict(r *http.Request) (binaryIn, binaryOut bool) {
+	binaryIn = wire.Negotiates(r.Header.Get("Content-Type"))
+	accept := r.Header.Get("Accept")
+	switch {
+	case wire.Negotiates(accept):
+		binaryOut = true
+	case strings.Contains(accept, "application/json"):
+		binaryOut = false
+	default:
+		binaryOut = binaryIn
+	}
+	return binaryIn, binaryOut
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.platform(r)
 	if !ok {
@@ -669,15 +714,6 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusNotFound, "unknown model %q on %s", r.PathValue("model"), p.Name())
 		return
 	}
-	var req PredictRequest
-	if err := readJSON(r.Body, &req); err != nil {
-		s.fail(w, r, http.StatusBadRequest, "parse json: %v", err)
-		return
-	}
-	if len(req.Instances) == 0 {
-		s.fail(w, r, http.StatusBadRequest, "no instances")
-		return
-	}
 	s.mu.RLock()
 	sd := s.datasets[p.Name()+"/"+m.datasetID]
 	s.mu.RUnlock()
@@ -686,17 +722,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	width := sd.data.D()
-	for i, inst := range req.Instances {
-		if len(inst) != width {
-			s.fail(w, r, http.StatusBadRequest, "instance %d has %d features, dataset has %d", i, len(inst), width)
-			return
-		}
+	binaryIn, binaryOut := negotiatePredict(r)
+	codec := "json"
+	if binaryIn {
+		codec = "binary"
 	}
+	s.reg.Counter(telemetry.CodecRequestsTotal, "codec", codec).Inc()
+
 	// The hot path: resolve the resident fitted model (refitting from the
 	// description only after an eviction or restart) and run a pure forward
-	// pass. The latency histogram splits the two regimes so the cache's
-	// effect is visible per request class, and the resolve/forward split is
-	// visible as child spans in the request trace.
+	// pass. The resolve happens before the body is consumed because binary
+	// bodies stream: each frame predicts as it is decoded, so the model
+	// must be ready when the first frame lands. The latency histogram
+	// splits the two regimes so the cache's effect is visible per request
+	// class, and the resolve/forward split is visible as child spans in
+	// the request trace.
 	ctx := r.Context()
 	start := time.Now()
 	resCtx, resolve := telemetry.StartSpan(ctx, "model_resolve")
@@ -720,17 +760,120 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// attach concurrently to the forward span; the trace tree is
 	// mutex-guarded so that is safe.
 	fwdCtx, forward := telemetry.StartSpan(ctx, "forward")
-	shards := pipeline.ShardCount(len(req.Instances), s.predictShards)
-	forward.SetAttr("batch_rows", strconv.Itoa(len(req.Instances))).
-		SetAttr("shards", strconv.Itoa(shards))
 	predict := fm.Predict
 	if cp, ok := fm.(platforms.ContextPredictor); ok {
 		predict = func(points [][]float64) []int { return cp.PredictCtx(fwdCtx, points) }
 	}
-	labels := pipeline.PredictSharded(predict, req.Instances, shards)
+	predictRows := func(instances [][]float64) []int {
+		return pipeline.PredictSharded(predict, instances, pipeline.ShardCount(len(instances), s.predictShards))
+	}
+
+	var (
+		labels    []int  // JSON response accumulation
+		respBuf   []byte // binary response frames
+		lastFrame = -1   // offset of the newest label frame in respBuf
+		totalRows int
+		frames    int
+	)
+	if binaryOut {
+		respBuf = wire.GetBuffer()
+		defer func() { wire.PutBuffer(respBuf) }()
+	}
+	emit := func(part [][]float64) {
+		got := predictRows(part)
+		totalRows += len(part)
+		frames++
+		if binaryOut {
+			lastFrame = len(respBuf)
+			respBuf = wire.AppendLabelsFrame(respBuf, got, 0)
+			s.reg.Histogram(telemetry.WireFrameBytesHistogram, "dir", "tx").
+				Observe(float64(len(respBuf) - lastFrame))
+		} else if labels == nil {
+			// Single-batch JSON responses hand the classifier's own output
+			// slice to the encoder, never copied or regrown.
+			labels = got
+		} else {
+			labels = append(labels, got...)
+		}
+	}
+
+	if binaryIn {
+		// Streaming decode: every frame is validated, predicted and its
+		// label frame appended before the next frame is read, so a
+		// multi-frame body pipelines through the server without one giant
+		// matrix allocation. Nothing is written until the whole body has
+		// decoded cleanly, so malformed later frames still get a clean 400.
+		dec := wire.NewReader(r.Body)
+		rxBytes := s.reg.Histogram(telemetry.WireFrameBytesHistogram, "dir", "rx")
+		for {
+			rows, last, err := dec.NextMatrix()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				forward.End()
+				s.failCode(w, r, http.StatusBadRequest, codeBadPayload, "decode frame %d: %v", frames, err)
+				return
+			}
+			if len(rows) > 0 {
+				rxBytes.Observe(float64(wire.HeaderSize + 8*len(rows)*len(rows[0])))
+				if len(rows[0]) != width {
+					forward.End()
+					s.failCode(w, r, http.StatusBadRequest, codeBadRowWidth,
+						"frame %d rows have %d features, dataset has %d", frames, len(rows[0]), width)
+					return
+				}
+				emit(rows)
+			}
+			if last {
+				break
+			}
+		}
+		if totalRows == 0 {
+			forward.End()
+			s.failCode(w, r, http.StatusBadRequest, codeNoInstances, "no instances")
+			return
+		}
+	} else {
+		var req PredictRequest
+		if err := readJSON(r.Body, &req); err != nil {
+			forward.End()
+			s.failCode(w, r, http.StatusBadRequest, codeBadPayload, "parse json: %v", err)
+			return
+		}
+		if len(req.Instances) == 0 {
+			forward.End()
+			s.failCode(w, r, http.StatusBadRequest, codeNoInstances, "no instances")
+			return
+		}
+		// Clamp every row to the model's feature width before any of them
+		// reaches the forward pass — a ragged row would otherwise index
+		// out of range deep inside a kernel.
+		for i, inst := range req.Instances {
+			if len(inst) != width {
+				forward.End()
+				s.failCode(w, r, http.StatusBadRequest, codeBadRowWidth,
+					"instance %d has %d features, dataset has %d", i, len(inst), width)
+				return
+			}
+		}
+		emit(req.Instances)
+	}
+
+	forward.SetAttr("batch_rows", strconv.Itoa(totalRows)).
+		SetAttr("shards", strconv.Itoa(pipeline.ShardCount(totalRows, s.predictShards))).
+		SetAttr("codec", codec).
+		SetAttr("frames", strconv.Itoa(frames))
 	forward.End()
 	s.reg.Histogram(telemetry.PredictPathHistogram, "path", path).Observe(time.Since(start).Seconds())
-	s.reg.Histogram(telemetry.PredictBatchSizeHistogram).Observe(float64(len(req.Instances)))
+	s.reg.Histogram(telemetry.PredictBatchSizeHistogram).Observe(float64(totalRows))
+	if binaryOut {
+		wire.MarkLast(respBuf, lastFrame)
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(respBuf)
+		return
+	}
 	writeJSON(w, http.StatusOK, PredictResponse{Labels: labels})
 }
 

@@ -52,6 +52,23 @@ const (
 	TracesKeptTotal    = "mlaas_traces_kept_total"
 	TracesDroppedTotal = "mlaas_traces_dropped_total"
 	TracesEvictedTotal = "mlaas_traces_evicted_total"
+
+	// CodecRequestsTotal counts predict requests by wire codec,
+	// codec="json"|"binary" — the adoption curve of the binary frame path.
+	CodecRequestsTotal = "mlaas_codec_requests_total"
+
+	// WireFrameBytesHistogram records the size in bytes of each binary
+	// frame the server decodes or encodes, labeled dir="rx"|"tx". Uses
+	// FrameBytesBuckets (power-of-four bytes), not duration buckets.
+	WireFrameBytesHistogram = "mlaas_wire_frame_bytes"
+
+	// Admission* instrument the bounded per-route admission queue (load
+	// shedding past saturation): admitted requests, shed requests (503 +
+	// Retry-After), and the current queue depth gauge, all labeled by
+	// route.
+	AdmissionAdmittedTotal = "mlaas_admission_admitted_total"
+	AdmissionShedTotal     = "mlaas_admission_shed_total"
+	AdmissionQueueDepth    = "mlaas_admission_queue_depth"
 )
 
 func init() {
@@ -69,4 +86,9 @@ func init() {
 	Default().Describe(TracesKeptTotal, "Traces admitted to the flight recorder, by keep reason.")
 	Default().Describe(TracesDroppedTotal, "Traces rejected by tail sampling.")
 	Default().Describe(TracesEvictedTotal, "Kept traces evicted FIFO by ring overflow.")
+	Default().Describe(CodecRequestsTotal, "Predict requests by wire codec (json or binary).")
+	Default().Describe(WireFrameBytesHistogram, "Binary frame sizes in bytes, by direction (rx or tx).")
+	Default().Describe(AdmissionAdmittedTotal, "Requests admitted past the admission queue, by route.")
+	Default().Describe(AdmissionShedTotal, "Requests shed with 503 + Retry-After, by route.")
+	Default().Describe(AdmissionQueueDepth, "Requests currently waiting in the admission queue, by route.")
 }

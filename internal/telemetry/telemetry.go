@@ -55,6 +55,13 @@ var FineBuckets = append([]float64{
 // observe sizes (rows per request) rather than durations.
 var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
+// FrameBytesBuckets are power-of-four byte buckets for histograms that
+// observe payload sizes — wide enough to span a 1-row frame (tens of
+// bytes) through the 64 MiB frame cap.
+var FrameBytesBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864,
+}
+
 // FamilyBuckets overrides the bucket bounds Histogram() uses for specific
 // families. Consulted only when the family is first created; explicit
 // HistogramBuckets calls bypass it.
@@ -62,6 +69,7 @@ var FamilyBuckets = map[string][]float64{
 	StageHistogram:            FineBuckets,
 	PredictPathHistogram:      FineBuckets,
 	PredictBatchSizeHistogram: BatchSizeBuckets,
+	WireFrameBytesHistogram:   FrameBytesBuckets,
 	KernelHistogram:           FineBuckets,
 	GCPauseHistogram:          FineBuckets,
 	SchedLatencyHistogram:     FineBuckets,

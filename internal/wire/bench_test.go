@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mlaasbench/internal/rng"
+)
+
+// The codec pair the wire path replaces: a 512x16 predict body (the
+// client's default batch upper bound) through encoding/json versus frames.
+// These run under mlaas-perf (the WireCodec series in perf/results/), so
+// the JSON-vs-binary gap is tracked over time, not just claimed once.
+
+func benchMatrix() [][]float64 {
+	return randMatrix(rng.New(3).Split("wire/bench"), 512, 16, false)
+}
+
+func BenchmarkWireCodecEncode(b *testing.B) {
+	m := benchMatrix()
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeMatrixStream(buf[:0], m, 0)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkWireCodecDecode(b *testing.B) {
+	m := benchMatrix()
+	body := EncodeMatrixStream(nil, m, 0)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMatrixStream(bytes.NewReader(body)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireCodecEncodeJSON(b *testing.B) {
+	m := benchMatrix()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkWireCodecDecodeJSON(b *testing.B) {
+	m := benchMatrix()
+	body, err := json.Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out [][]float64
+		if err := json.Unmarshal(body, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
