@@ -10,9 +10,9 @@
 GO ?= go
 
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
-	./internal/wire ./internal/pipeline ./internal/platforms
+	./internal/wire ./internal/pipeline ./internal/platforms ./internal/store
 
-.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke perf-smoke perf-run perf-compare perf-report
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke perf-run perf-compare perf-report
 
 all: check
 
@@ -32,7 +32,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke perf-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -57,6 +57,19 @@ wire-smoke:
 	$(GO) test -count=1 -run 'TestBinaryPredict|TestAccept|TestMultiFrame|TestPredictRejects' ./internal/service
 	$(GO) test -count=1 -run FuzzFrameDecoder ./internal/wire
 	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s -codec binary >/dev/null
+
+# Artifact-store smoke: the MLDS/MLMF round-trip and corruption tests, both
+# decoder fuzz seed corpora (corrupt artifacts must error, never panic), a
+# cross-compile of the store package for a platform without the mmap fast
+# path (the portable read path must build everywhere), a convert->inspect
+# CLI round trip, and a short warm-restart A/B (warm arm must run 0 fits).
+store-smoke:
+	$(GO) test -count=1 ./internal/store
+	$(GO) test -count=1 -run 'FuzzDatasetDecoder|FuzzModelDecoder' ./internal/store
+	GOOS=windows GOARCH=amd64 $(GO) build ./internal/store
+	$(GO) run ./cmd/mlaas-datasets convert -out /tmp/mlaas-mlds-smoke -name CIRCLE
+	$(GO) run ./cmd/mlaas-datasets inspect -in /tmp/mlaas-mlds-smoke/CIRCLE.mlds >/dev/null
+	$(GO) run ./cmd/mlaas-loadgen -restart -restart-trials 3 >/dev/null
 
 # Performance-tracking smoke: one single-iteration pass of the kernel trio
 # through mlaas-perf, then a report-only diff against the committed history

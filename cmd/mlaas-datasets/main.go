@@ -5,14 +5,21 @@
 //	mlaas-datasets list [-profile quick|full]          # one line per dataset
 //	mlaas-datasets stats [-profile quick|full]         # Figure 3 marginals
 //	mlaas-datasets export -name CIRCLE [-out x.csv]    # write one dataset as CSV
+//	mlaas-datasets convert -out dir [-name CIRCLE]     # write MLDS binary files
+//	mlaas-datasets inspect -in x.mlds                  # header/CRC/column stats
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mlaasbench/internal/core"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/store"
 	"mlaasbench/internal/synth"
 )
 
@@ -23,8 +30,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	profileName := fs.String("profile", "quick", "generation profile: quick or full")
-	name := fs.String("name", "", "dataset name (export)")
-	out := fs.String("out", "", "output file (export; default stdout)")
+	name := fs.String("name", "", "dataset name (export, convert)")
+	out := fs.String("out", "", "output file or directory (export, convert)")
+	in := fs.String("in", "", "input .mlds file (inspect)")
 	seed := fs.Uint64("seed", synth.CorpusSeed, "generation seed")
 	_ = fs.Parse(os.Args[2:])
 
@@ -62,13 +70,105 @@ func main() {
 		if err := ds.WriteCSV(w); err != nil {
 			fatal(err)
 		}
+	case "convert":
+		if *out == "" {
+			fatal(fmt.Errorf("convert requires -out directory"))
+		}
+		if err := convert(*out, *name, profile, *seed); err != nil {
+			fatal(err)
+		}
+	case "inspect":
+		if *in == "" {
+			fatal(fmt.Errorf("inspect requires -in file.mlds"))
+		}
+		if err := inspect(os.Stdout, *in); err != nil {
+			fatal(err)
+		}
 	default:
 		usage()
 	}
 }
 
+// convert writes corpus datasets as MLDS files under dir — the whole corpus
+// by default, a single dataset with -name.
+func convert(dir, only string, profile synth.Profile, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	specs := synth.Corpus()
+	if only != "" {
+		spec, ok := synth.CorpusByName(only)
+		if !ok {
+			return fmt.Errorf("unknown dataset %q", only)
+		}
+		specs = []synth.Spec{spec}
+	}
+	for _, spec := range specs {
+		ds := synth.GenerateClean(spec, profile, seed)
+		path := filepath.Join(dir, mldsFileName(spec.Name))
+		if err := store.WriteDataset(path, ds); err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Printf("wrote %-40s n=%-6d d=%-4d\n", path, ds.N(), ds.D())
+	}
+	return nil
+}
+
+// mldsFileName maps a dataset name to a filesystem-safe .mlds filename.
+func mldsFileName(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, name)
+	return safe + ".mlds"
+}
+
+// inspect opens an MLDS file (verifying its CRC in the process) and prints
+// the header, mapping mode, and per-column summary statistics.
+func inspect(w *os.File, path string) error {
+	f, err := store.OpenDataset(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d := f.Dataset()
+	fmt.Fprintf(w, "file:    %s\n", path)
+	fmt.Fprintf(w, "name:    %s\n", f.Name())
+	fmt.Fprintf(w, "domain:  %s\n", d.Domain)
+	fmt.Fprintf(w, "shape:   %d rows × %d cols\n", f.Rows(), f.Cols())
+	fmt.Fprintf(w, "linear:  %v\n", d.Linear)
+	fmt.Fprintf(w, "mapped:  %v\n", f.Mapped())
+	fmt.Fprintf(w, "crc:     ok\n")
+	fmt.Fprintf(w, "balance: %.3f positive\n", d.ClassBalance())
+	for j := 0; j < f.Cols(); j++ {
+		col := f.Col(j)
+		name := fmt.Sprintf("f%d", j)
+		if len(d.Columns) > 0 {
+			name = d.Columns[j]
+		}
+		kind := "numeric"
+		if len(d.Kinds) > 0 && d.Kinds[j] == dataset.Categorical {
+			kind = "categorical"
+		}
+		lo, hi, missing := math.Inf(1), math.Inf(-1), 0
+		for _, v := range col {
+			if math.IsNaN(v) {
+				missing++
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		fmt.Fprintf(w, "col %-3d %-16s %-11s min=%-12.6g max=%-12.6g missing=%d\n",
+			j, name, kind, lo, hi, missing)
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlaas-datasets {list|stats|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mlaas-datasets {list|stats|export|convert|inspect} [flags]")
 	os.Exit(2)
 }
 

@@ -10,6 +10,15 @@
 //	              [-perf-dir perf/results] [-perf-label loadgen]
 //	              [-saturate auto|r1,r2,...] [-saturate-duration 2s]
 //	              [-admit-concurrency NumCPU] [-admit-queue 64]
+//	              [-restart] [-restart-trials 5]
+//
+// -restart replaces the closed-loop passes with a warm-restart A/B: it
+// seeds a durable artifact store (internal/store MLMF files) with one
+// fitted model, then repeatedly boots fresh in-process servers and times
+// restart-to-first-predict — cold (no store, the train refits) versus warm
+// (cache warmed from the store at boot, the train is a cache hit and the
+// first predict is a pure forward pass). The report records both medians,
+// the fit counts (warm must be zero), and the speedup.
 //
 // -codec binary sends predict bodies as internal/wire binary frames instead
 // of JSON (and receives binary label frames back) — same requests, same
@@ -106,6 +115,8 @@ type Report struct {
 	SpeedupRPS float64 `json:"speedup_rps,omitempty"`
 	// Saturation is set by -saturate runs (goodput vs offered load).
 	Saturation *SaturationReport `json:"saturation,omitempty"`
+	// Restart is set by -restart runs (cold vs warm restart-to-predict).
+	Restart *RestartReport `json:"restart,omitempty"`
 }
 
 func main() {
@@ -123,6 +134,8 @@ func main() {
 		codecName  = flag.String("codec", "json", "predict body codec: json or binary (the internal/wire frame format)")
 		saturate   = flag.String("saturate", "", `offered-load sweep: "auto" (multiples of measured capacity) or comma-separated req/s rates; replaces the closed-loop passes`)
 		satDur     = flag.Duration("saturate-duration", 2*time.Second, "measured duration per saturation point")
+		restart    = flag.Bool("restart", false, "measure cold vs warm restart-to-first-predict using a durable artifact store; replaces the closed-loop passes")
+		restartN   = flag.Int("restart-trials", 5, "restart A/B trials (median is reported)")
 		admitConc  = flag.Int("admit-concurrency", runtime.NumCPU(), "admission slots for the in-process saturation server (0 disables load shedding)")
 		admitQueue = flag.Int("admit-queue", service.DefaultAdmissionQueue, "admission waiting-queue bound for the in-process saturation server")
 		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
@@ -168,7 +181,15 @@ func main() {
 	// fit-once telemetry never mix, and a pass's exported traces contain
 	// both sides of each request stitch.
 	var passRegs []*telemetry.Registry
-	if *saturate != "" {
+	if *restart {
+		// Restart A/B: cold (refit on first predict) vs warm (cache warmed
+		// from MLMF artifacts at boot, first predict is a forward pass).
+		res, err := runRestart(*platform, cfg, sp, *seed, *batch, *restartN, codec)
+		if err != nil {
+			log.Fatalf("loadgen: restart A/B: %v", err)
+		}
+		rep.Restart = res
+	} else if *saturate != "" {
 		// Open-loop saturation sweep: offered load is fixed per point,
 		// goodput and sheds are measured. In-process mode runs the server
 		// with admission control on so goodput stays flat past the knee.
@@ -279,18 +300,27 @@ func perfRecord(rep Report, label string) *perf.Record {
 		rec.Results = append(rec.Results,
 			perf.LoadgenResults("loadgen/"+p.Name, p.ReqPerSec, p.InstPerSec, p.MeanMs, p.P50Ms, p.P95Ms, p.P99Ms)...)
 	}
+	one := func(name, unit string, v float64) perf.Result {
+		r := perf.Result{Name: name, Unit: unit, Runs: []float64{v}, HigherIsBetter: perf.HigherBetterUnit(unit)}
+		r.Finalize()
+		return r
+	}
 	if s := rep.Saturation; s != nil {
-		one := func(name, unit string, v float64) perf.Result {
-			r := perf.Result{Name: name, Unit: unit, Runs: []float64{v}, HigherIsBetter: perf.HigherBetterUnit(unit)}
-			r.Finalize()
-			return r
-		}
 		rec.Notes = fmt.Sprintf("open-loop saturation sweep: %s %s, batch %d, codec %s",
 			rep.Platform, rep.Config, rep.Batch, rep.Codec)
 		rec.Results = append(rec.Results,
 			one("loadgen/saturation/knee", "req/s", s.KneeRPS),
 			one("loadgen/saturation/peak_goodput", "req/s", s.PeakGoodputRPS),
 			one("loadgen/saturation/goodput_at_2x_knee", "req/s", s.GoodputAt2xKneeRPS),
+		)
+	}
+	if r := rep.Restart; r != nil {
+		rec.Notes = fmt.Sprintf("restart A/B: %s %s, %d trials, batch %d",
+			rep.Platform, rep.Config, r.Trials, rep.Batch)
+		rec.Results = append(rec.Results,
+			one("loadgen/restart/cold_to_predict", "mean_ms", r.ColdMs),
+			one("loadgen/restart/warm_to_predict", "mean_ms", r.WarmMs),
+			one("loadgen/restart/warm_load", "mean_ms", r.WarmLoadMs),
 		)
 	}
 	return rec
@@ -458,6 +488,13 @@ func printSummary(rep Report) {
 	}
 	if rep.SpeedupRPS > 0 {
 		fmt.Printf("  forward vs refit speedup: %.1fx req/s\n", rep.SpeedupRPS)
+	}
+	if r := rep.Restart; r != nil {
+		fmt.Printf("  restart-to-first-predict over %d trials (median):\n", r.Trials)
+		fmt.Printf("    cold %8.2fms  (%d fits)\n", r.ColdMs, r.ColdFits)
+		fmt.Printf("    warm %8.2fms  (%d fits, %d models warmed in %.2fms)\n",
+			r.WarmMs, r.WarmFits, r.WarmedModels, r.WarmLoadMs)
+		fmt.Printf("    warm restart speedup: %.1fx\n", r.SpeedupX)
 	}
 	if s := rep.Saturation; s != nil {
 		if s.CapacityRPS > 0 {

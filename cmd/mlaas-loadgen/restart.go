@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/store"
+	"mlaasbench/internal/telemetry"
+)
+
+// RestartReport is the -restart cold-vs-warm A/B: restart-to-first-predict
+// latency for a fresh process with no artifacts (cold, the first predict
+// pays a model fit) versus a fresh process warming its model cache from a
+// durable store directory (warm, the first predict is a pure forward pass).
+type RestartReport struct {
+	Trials int `json:"trials"`
+	// Restart-to-first-predict: server construction (including the warm
+	// scan, when there is one) through the first successful predict
+	// response, median over trials.
+	ColdMs float64 `json:"cold_restart_to_predict_ms"`
+	WarmMs float64 `json:"warm_restart_to_predict_ms"`
+	// WarmLoadMs is the median boot-time warm scan alone.
+	WarmLoadMs   float64 `json:"warm_load_ms"`
+	WarmedModels int     `json:"warmed_models"`
+	// Fits actually run during the measured window, summed over trials.
+	// Cold must be trials (one per restart); warm must be zero.
+	ColdFits int64   `json:"cold_fits"`
+	WarmFits int64   `json:"warm_fits"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// runRestart measures the warm-restart win end to end. A seed phase fits the
+// model once against a store-backed server so the artifact exists; each trial
+// then boots two fresh servers — cold (no store) and warm (same store dir,
+// cache warmed at boot) — and times construction through the first predict.
+func runRestart(platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, batch, trials int, codec client.Codec) (*RestartReport, error) {
+	dir, err := os.MkdirTemp("", "mlaas-restart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	instances := tileInstances(sp.Test.X, batch)
+	quiet := func(string, ...any) {}
+
+	// firstPredict drives the client sequence a restarted process sees:
+	// re-upload, re-train (cache hit or refit), first predict.
+	firstPredict := func(api *service.Server) error {
+		srv := httptest.NewServer(api.Handler())
+		defer srv.Close()
+		ctx := context.Background()
+		c := client.New(srv.URL).WithCodec(codec)
+		dsID, err := c.Upload(ctx, platform, sp.Train)
+		if err != nil {
+			return fmt.Errorf("upload: %w", err)
+		}
+		modelID, err := c.Train(ctx, platform, dsID, cfg, seed)
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		if _, err := c.Predict(ctx, platform, modelID, instances); err != nil {
+			return fmt.Errorf("predict: %w", err)
+		}
+		return nil
+	}
+
+	// Seed phase: one store-backed fit persists the artifact the warm arm
+	// will boot from. Not measured.
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstPredict(service.NewServer(quiet).WithRegistry(telemetry.NewRegistry()).WithStore(st)); err != nil {
+		return nil, fmt.Errorf("seed fit: %w", err)
+	}
+
+	rep := &RestartReport{Trials: trials}
+	var coldMs, warmMs, loadMs []float64
+	for i := 0; i < trials; i++ {
+		// Cold restart: fresh process state, no artifacts — the train refits.
+		reg := telemetry.NewRegistry()
+		t0 := time.Now()
+		api := service.NewServer(quiet).WithRegistry(reg)
+		if err := firstPredict(api); err != nil {
+			return nil, fmt.Errorf("cold trial %d: %w", i, err)
+		}
+		coldMs = append(coldMs, ms(time.Since(t0)))
+		rep.ColdFits += reg.Counter(telemetry.ModelCacheMisses).Value()
+
+		// Warm restart: fresh process state over the artifact dir — the boot
+		// warm scan pre-loads the model and the train is a cache hit.
+		reg = telemetry.NewRegistry()
+		t0 = time.Now()
+		wst, err := store.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		api = service.NewServer(quiet).WithRegistry(reg).WithStore(wst)
+		w0 := time.Now()
+		n, err := api.WarmFromStore()
+		if err != nil {
+			return nil, fmt.Errorf("warm trial %d: %w", i, err)
+		}
+		loadMs = append(loadMs, ms(time.Since(w0)))
+		rep.WarmedModels = n
+		if err := firstPredict(api); err != nil {
+			return nil, fmt.Errorf("warm trial %d: %w", i, err)
+		}
+		warmMs = append(warmMs, ms(time.Since(t0)))
+		rep.WarmFits += reg.Counter(telemetry.ModelCacheMisses).Value()
+	}
+
+	rep.ColdMs = median(coldMs)
+	rep.WarmMs = median(warmMs)
+	rep.WarmLoadMs = median(loadMs)
+	if rep.WarmMs > 0 {
+		rep.SpeedupX = rep.ColdMs / rep.WarmMs
+	}
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

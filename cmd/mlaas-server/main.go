@@ -4,9 +4,15 @@
 //
 //	mlaas-server [-addr :8080] [-quiet] [-pprof 127.0.0.1:6060] [-model-cache 128]
 //	             [-predict-shards 0] [-admit-concurrency 0] [-admit-queue 64]
-//	             [-log-format text|json]
+//	             [-store-dir artifacts/] [-log-format text|json]
 //	             [-log-level debug|info|warn|error] [-slow-request 250ms]
 //	             [-health-interval 5s]
+//
+// -store-dir attaches a durable artifact store (MLMF files) beneath the
+// model cache: every fitted model is persisted, evicted models demote to
+// disk instead of dropping, and the cache warms from the directory at boot,
+// so a restarted server serves its first predictions as pure forward passes
+// with zero refits (store counters are on /metrics).
 //
 // -predict-shards splits each predict request's forward pass across that
 // many row shards (0 = one per CPU, 1 = serial). Predictions are
@@ -69,6 +75,7 @@ import (
 
 	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/service"
+	"mlaasbench/internal/store"
 	"mlaasbench/internal/telemetry"
 )
 
@@ -90,6 +97,8 @@ func main() {
 		"max predict requests executing at once; excess queues up to -admit-queue, then sheds with 503 + Retry-After (0 disables admission control)")
 	admitQueue := flag.Int("admit-queue", service.DefaultAdmissionQueue,
 		"max predict requests waiting for an execution slot before load shedding starts")
+	storeDir := flag.String("store-dir", "",
+		"directory for durable MLMF model artifacts; fitted models persist there, evictions demote to disk, and the cache warms from it at boot (empty disables)")
 	flag.Parse()
 
 	logf := log.Printf
@@ -113,15 +122,28 @@ func main() {
 		stopHealth := telemetry.StartHealthSampler(telemetry.Default(), *healthInterval)
 		defer stopHealth()
 	}
+	api := service.NewServer(logf).
+		WithModelCache(*modelCache).
+		WithPredictShards(*predictShards).
+		WithAdmission(*admitConcurrency, *admitQueue).
+		WithLogger(logger).
+		WithSlowRequestThreshold(*slowReq)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("mlaas-server: %v", err)
+		}
+		api = api.WithStore(st)
+		start := time.Now()
+		n, err := api.WarmFromStore()
+		if err != nil {
+			log.Fatalf("mlaas-server: warm from %s: %v", *storeDir, err)
+		}
+		log.Printf("mlaas-server warmed %d models from %s in %s", n, *storeDir, time.Since(start).Round(time.Millisecond))
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.NewServer(logf).
-			WithModelCache(*modelCache).
-			WithPredictShards(*predictShards).
-			WithAdmission(*admitConcurrency, *admitQueue).
-			WithLogger(logger).
-			WithSlowRequestThreshold(*slowReq).
-			Handler(),
+		Addr:              *addr,
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

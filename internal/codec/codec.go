@@ -1,0 +1,240 @@
+// Package codec holds the little-endian binary primitives shared by the
+// durable artifact formats in internal/store (the MLDS dataset layout and
+// the MLMF fitted-model layout) and by the per-package model marshalers
+// that feed them. It is a leaf package — no imports from this repo — so
+// classifiers, pipeline, preprocess, featsel and platforms can all encode
+// their fitted state without creating an import cycle with the store.
+//
+// The decoding discipline mirrors internal/wire: every variable-length
+// read takes an explicit element cap, counts are validated against both
+// the cap and the bytes actually present before anything is allocated, and
+// every failure is a sticky error on the Reader — corrupt or truncated
+// input returns ErrCorrupt-wrapped errors, never panics, and never
+// allocates more than the delivered bytes justify.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode error so callers can classify
+// malformed artifacts with errors.Is.
+var ErrCorrupt = errors.New("codec: corrupt data")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Append helpers build payloads by appending to a byte slice, the same
+// shape as the wire package's frame builders.
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendI64 appends a little-endian int64 (two's complement).
+func AppendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendF64 appends a little-endian IEEE-754 float64. The bit pattern is
+// preserved exactly: NaN payloads, ±Inf and -0 round-trip.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendBool appends a bool as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a u32 length prefix and the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64s appends a u32 count prefix and the values.
+func AppendF64s(b []byte, v []float64) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendF64(b, x)
+	}
+	return b
+}
+
+// AppendInts appends a u32 count prefix and the values as int64.
+func AppendInts(b []byte, v []int) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendI64(b, int64(x))
+	}
+	return b
+}
+
+// Reader decodes a payload built with the Append helpers. Errors are
+// sticky: after the first failure every read returns zero values and Err
+// reports the original cause, so decoders can run a straight-line sequence
+// of reads and check once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a fully materialized payload. Callers verify any
+// checksum before handing bytes here — the Reader validates structure,
+// not integrity.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many bytes are left to read.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corruptf(format, args...)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, r.Remaining())
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a little-endian IEEE-754 float64, bit-exact.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte as a bool; any nonzero value is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// count reads a u32 count prefix and validates it against the element cap
+// and the bytes actually remaining (at elemSize bytes per element), so a
+// forged count can never drive an allocation past the delivered payload.
+func (r *Reader) count(max, elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > max {
+		r.fail("count %d exceeds limit %d", n, max)
+		return 0
+	}
+	if elemSize > 0 && n*elemSize > r.Remaining() {
+		r.fail("count %d needs %d bytes, have %d", n, n*elemSize, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (r *Reader) String(max int) string {
+	n := r.count(max, 1)
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// F64s reads a count-prefixed float64 slice of at most max elements.
+// A zero count returns nil, matching what AppendF64s(nil) wrote.
+func (r *Reader) F64s(max int) []float64 {
+	n := r.count(max, 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Ints reads a count-prefixed int slice of at most max elements.
+func (r *Reader) Ints(max int) []int {
+	n := r.count(max, 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64())
+	}
+	return out
+}
+
+// Count reads a bare u32 count prefix validated against max and the
+// remaining payload at elemSize bytes per element. Decoders use it for
+// nested structures (rows of a matrix, levels of a DAG) where the elements
+// are not a flat primitive slice.
+func (r *Reader) Count(max, elemSize int) int { return r.count(max, elemSize) }
+
+// Fail poisons the reader with a corrupt-data error; decoders call it when
+// a structurally valid value is semantically out of range.
+func (r *Reader) Fail(format string, args ...any) { r.fail(format, args...) }
+
+// Expect fails the reader unless the next byte equals want; used for
+// structure tags.
+func (r *Reader) Expect(want uint8, what string) {
+	got := r.U8()
+	if r.err == nil && got != want {
+		r.fail("%s: tag %d, want %d", what, got, want)
+	}
+}

@@ -9,8 +9,14 @@ import (
 	"strings"
 )
 
+// categoricalSuffix marks a categorical feature column in the CSV header,
+// so the column kinds survive a WriteCSV→ReadCSV round-trip (values alone
+// can't distinguish an ordinal-coded categorical from a numeric feature).
+const categoricalSuffix = ":categorical"
+
 // WriteCSV serializes the dataset with a header row. Feature columns come
-// first (named f0..fN-1 when Columns is empty), the label column is last and
+// first (named f0..fN-1 when Columns is empty), with categorical columns
+// marked by a ":categorical" name suffix; the label column is last and
 // named "label". Missing values are written as empty fields.
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
@@ -21,6 +27,9 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 			header[j] = d.Columns[j]
 		} else {
 			header[j] = fmt.Sprintf("f%d", j)
+		}
+		if len(d.Kinds) > 0 && d.Kinds[j] == Categorical {
+			header[j] += categoricalSuffix
 		}
 	}
 	header[width] = "label"
@@ -46,8 +55,9 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a dataset in the WriteCSV format: a header whose last
-// column is the label, feature values as floats (empty = missing), labels
-// as 0/1.
+// column is the label (feature names ending in ":categorical" restore the
+// column's kind), feature values as floats (empty = missing), labels as
+// 0/1.
 func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -62,7 +72,17 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: last column is %q, want \"label\"", got)
 	}
 	width := len(header) - 1
-	d := &Dataset{Name: name, Columns: append([]string(nil), header[:width]...)}
+	d := &Dataset{Name: name, Columns: make([]string, width)}
+	for j, col := range header[:width] {
+		if cut, ok := strings.CutSuffix(col, categoricalSuffix); ok {
+			if d.Kinds == nil {
+				d.Kinds = make([]FeatureKind, width) // zero value = Numeric
+			}
+			col = cut
+			d.Kinds[j] = Categorical
+		}
+		d.Columns[j] = col
+	}
 	line := 1
 	for {
 		rec, err := cr.Read()

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestCSVRoundTripFidelity: NaN-missing values and categorical column
+// kinds must survive WriteCSV→ReadCSV unchanged — the binary format's
+// oracle tests compare against the CSV path, so any drift here would hide
+// real corruption there.
+func TestCSVRoundTripFidelity(t *testing.T) {
+	d := &Dataset{
+		Name: "fidelity",
+		X: [][]float64{
+			{1.5, 2, Missing},
+			{Missing, 1, 0.25},
+			{-3.75, 3, 1e17},
+		},
+		Y:       []int{0, 1, 1},
+		Kinds:   []FeatureKind{Numeric, Categorical, Numeric},
+		Columns: []string{"age", "color", "score"},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Kinds) != len(d.Kinds) {
+		t.Fatalf("Kinds lost: got %v, want %v", got.Kinds, d.Kinds)
+	}
+	for j, k := range d.Kinds {
+		if got.Kinds[j] != k {
+			t.Fatalf("Kinds[%d] = %v, want %v", j, got.Kinds[j], k)
+		}
+	}
+	for j, c := range d.Columns {
+		if got.Columns[j] != c {
+			t.Fatalf("Columns[%d] = %q, want %q", j, got.Columns[j], c)
+		}
+	}
+	for i := range d.X {
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("Y[%d] = %d, want %d", i, got.Y[i], d.Y[i])
+		}
+		for j := range d.X[i] {
+			want, have := d.X[i][j], got.X[i][j]
+			if math.IsNaN(want) {
+				if !math.IsNaN(have) {
+					t.Fatalf("X[%d][%d] = %v, want missing", i, j, have)
+				}
+				continue
+			}
+			if have != want {
+				t.Fatalf("X[%d][%d] = %v, want %v", i, j, have, want)
+			}
+		}
+	}
+}
+
+// TestCSVRoundTripAllNumeric: a dataset without categorical columns writes
+// plain headers (no suffix) and reads back with empty Kinds, which the
+// Dataset contract defines as all-numeric.
+func TestCSVRoundTripAllNumeric(t *testing.T) {
+	d := &Dataset{
+		Name: "numeric",
+		X:    [][]float64{{1, 2}, {3, 4}},
+		Y:    []int{0, 1},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(categoricalSuffix)) {
+		t.Fatal("all-numeric dataset wrote a categorical marker")
+	}
+	got, err := ReadCSV(&buf, d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Kinds) != 0 {
+		t.Fatalf("all-numeric dataset read back Kinds %v", got.Kinds)
+	}
+	if got.Columns[0] != "f0" || got.Columns[1] != "f1" {
+		t.Fatalf("generated columns %v", got.Columns)
+	}
+}

@@ -1,0 +1,21 @@
+package featsel
+
+import "mlaasbench/internal/codec"
+
+// maxLDAFeatures bounds the decoded discriminant length, mirroring the
+// scaler limits in preprocess.
+const maxLDAFeatures = 1 << 20
+
+// AppendFisherLDA serializes the fitted discriminant direction, bit-exact.
+func AppendFisherLDA(b []byte, f *FisherLDA) []byte {
+	return codec.AppendF64s(b, f.w)
+}
+
+// DecodeFisherLDA reconstructs a projector written by AppendFisherLDA.
+func DecodeFisherLDA(r *codec.Reader) (*FisherLDA, error) {
+	f := &FisherLDA{w: r.F64s(maxLDAFeatures)}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

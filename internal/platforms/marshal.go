@@ -1,0 +1,63 @@
+package platforms
+
+import (
+	"fmt"
+
+	"mlaasbench/internal/codec"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/preprocess"
+)
+
+// Model-kind tags for the MLMF artifact payload. Append-only.
+const (
+	modelPipeline = 1 // *pipeline.FittedPipeline (every platform but Amazon)
+	modelBinned   = 2 // *binnedModel (Amazon: hidden binner + pipeline)
+)
+
+// AppendFittedModel serializes any FittedModel a platform Fit can return.
+// The payload is self-describing (kind tag first), so DecodeFittedModel
+// reconstructs the concrete type without out-of-band context.
+func AppendFittedModel(b []byte, m FittedModel) ([]byte, error) {
+	switch t := m.(type) {
+	case *pipeline.FittedPipeline:
+		b = codec.AppendU8(b, modelPipeline)
+		return pipeline.AppendFittedPipeline(b, t)
+	case *binnedModel:
+		b = codec.AppendU8(b, modelBinned)
+		b, err := preprocess.AppendScaler(b, t.q)
+		if err != nil {
+			return nil, err
+		}
+		return pipeline.AppendFittedPipeline(b, t.fp)
+	default:
+		return nil, fmt.Errorf("platforms: cannot serialize model %T", m)
+	}
+}
+
+// DecodeFittedModel reconstructs a model written by AppendFittedModel. The
+// decoded model predicts byte-identically to the one that was encoded.
+func DecodeFittedModel(r *codec.Reader) (FittedModel, error) {
+	switch tag := r.U8(); tag {
+	case modelPipeline:
+		return pipeline.DecodeFittedPipeline(r)
+	case modelBinned:
+		sc, err := preprocess.DecodeScaler(r)
+		if err != nil {
+			return nil, err
+		}
+		q, ok := sc.(*preprocess.OneHotBinning)
+		if !ok {
+			return nil, fmt.Errorf("%w: binned model carries %T, want one-hot binner", codec.ErrCorrupt, sc)
+		}
+		fp, err := pipeline.DecodeFittedPipeline(r)
+		if err != nil {
+			return nil, err
+		}
+		return &binnedModel{q: q, fp: fp}, nil
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: unknown model kind %d", codec.ErrCorrupt, tag)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/store"
 	"mlaasbench/internal/telemetry"
 	"mlaasbench/internal/wire"
 )
@@ -145,6 +146,23 @@ func (s *Server) WithModelCache(n int) *Server {
 	return s
 }
 
+// WithStore attaches a disk tier beneath the fitted-model LRU and returns
+// the server (chainable). Every fitted model is persisted as an MLMF
+// artifact, evicted models demote to disk instead of dropping, and cache
+// fills load from disk before paying for a fit. Call before serving starts.
+func (s *Server) WithStore(st *store.Store) *Server {
+	s.fits.store = st
+	return s
+}
+
+// WarmFromStore fills the model cache from the attached disk tier, up to
+// the cache capacity, and returns how many models were loaded. A warmed key
+// serves its first predict as a pure forward pass — no refit, miss count
+// zero. Call at boot, before serving starts.
+func (s *Server) WarmFromStore() (int, error) {
+	return s.fits.warm()
+}
+
 // WithPredictShards bounds how many goroutines one predict request's
 // forward pass may fan its instance rows across and returns the server
 // (chainable). Zero (the default) means one shard per CPU; one forces the
@@ -196,6 +214,11 @@ func (s *Server) describeMetrics() {
 	s.reg.Describe(telemetry.AdmissionAdmittedTotal, "Requests admitted past the admission queue, by route.")
 	s.reg.Describe(telemetry.AdmissionShedTotal, "Requests shed with 503 + Retry-After, by route.")
 	s.reg.Describe(telemetry.AdmissionQueueDepth, "Requests currently waiting in the admission queue, by route.")
+	s.reg.Describe(telemetry.StoreHits, "Model-cache misses served by loading a disk artifact instead of refitting.")
+	s.reg.Describe(telemetry.StoreMisses, "Model-cache misses with no disk artifact (fit ran, artifact persisted).")
+	s.reg.Describe(telemetry.StoreDemotions, "Evicted models demoted to disk artifacts.")
+	s.reg.Describe(telemetry.StoreWarmLoads, "Models warmed into the cache from disk at boot.")
+	s.reg.Describe(telemetry.StoreLoadHistogram, "Disk artifact load duration in seconds, by op (hit or warm).")
 }
 
 // statusWriter captures the response status code for metrics.

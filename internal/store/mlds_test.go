@@ -1,0 +1,219 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlaasbench/internal/codec"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/synth"
+)
+
+// assertDatasetIdentical compares two datasets bit-for-bit: every feature
+// value by its Float64bits (so NaN payloads, ±Inf and -0 must survive),
+// plus labels and metadata.
+func assertDatasetIdentical(t *testing.T, ctx string, got, want *dataset.Dataset) {
+	t.Helper()
+	if got.Name != want.Name || got.Domain != want.Domain || got.Linear != want.Linear {
+		t.Fatalf("%s: meta %q/%q/%v, want %q/%q/%v", ctx, got.Name, got.Domain, got.Linear, want.Name, want.Domain, want.Linear)
+	}
+	if len(got.X) != len(want.X) || len(got.Y) != len(want.Y) {
+		t.Fatalf("%s: shape %d×?/%d labels, want %d/%d", ctx, len(got.X), len(got.Y), len(want.X), len(want.Y))
+	}
+	for i := range want.X {
+		if len(got.X[i]) != len(want.X[i]) {
+			t.Fatalf("%s: row %d has %d features, want %d", ctx, i, len(got.X[i]), len(want.X[i]))
+		}
+		for j := range want.X[i] {
+			if math.Float64bits(got.X[i][j]) != math.Float64bits(want.X[i][j]) {
+				t.Fatalf("%s: X[%d][%d] bits %016x, want %016x", ctx, i, j,
+					math.Float64bits(got.X[i][j]), math.Float64bits(want.X[i][j]))
+			}
+		}
+	}
+	for i := range want.Y {
+		if got.Y[i] != want.Y[i] {
+			t.Fatalf("%s: Y[%d] = %d, want %d", ctx, i, got.Y[i], want.Y[i])
+		}
+	}
+	if len(got.Kinds) != len(want.Kinds) {
+		t.Fatalf("%s: %d kinds, want %d", ctx, len(got.Kinds), len(want.Kinds))
+	}
+	for i := range want.Kinds {
+		if got.Kinds[i] != want.Kinds[i] {
+			t.Fatalf("%s: kind %d = %v, want %v", ctx, i, got.Kinds[i], want.Kinds[i])
+		}
+	}
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("%s: %d columns, want %d", ctx, len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if got.Columns[i] != want.Columns[i] {
+			t.Fatalf("%s: column %d = %q, want %q", ctx, i, got.Columns[i], want.Columns[i])
+		}
+	}
+}
+
+// roundTrip writes d to a temp MLDS file and loads it back through both the
+// OpenDataset (mmap where available) and ReadDataset (in-memory) paths,
+// asserting the two parse identically.
+func roundTrip(t *testing.T, d *dataset.Dataset) *dataset.Dataset {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ds.mlds")
+	if err := WriteDataset(path, d); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+	f, err := OpenDataset(path)
+	if err != nil {
+		t.Fatalf("OpenDataset: %v", err)
+	}
+	defer f.Close()
+	got := f.Dataset()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := ReadDataset(raw)
+	if err != nil {
+		t.Fatalf("ReadDataset (fallback): %v", err)
+	}
+	assertDatasetIdentical(t, d.Name+" (mmap vs fallback)", ff.Dataset(), got)
+	return got
+}
+
+// TestDatasetRoundTripCorpus proves the headline contract on real corpus
+// data: an MLDS round-trip reproduces the generated dataset exactly.
+func TestDatasetRoundTripCorpus(t *testing.T) {
+	specs := synth.Corpus()
+	if len(specs) > 12 {
+		specs = specs[:12]
+	}
+	for _, spec := range specs {
+		d := synth.GenerateClean(spec, synth.Quick, 7)
+		assertDatasetIdentical(t, spec.Name, roundTrip(t, d), d)
+	}
+}
+
+// TestDatasetRoundTripEdgeValues checks the bit patterns text formats lose:
+// NaN with a payload, ±Inf, -0, subnormals — plus kinds, columns and the
+// linear flag.
+func TestDatasetRoundTripEdgeValues(t *testing.T) {
+	nanPayload := math.Float64frombits(0x7ff80000deadbeef)
+	d := &dataset.Dataset{
+		Name:   "edge",
+		Domain: dataset.DomainSynthetic,
+		Linear: true,
+		X: [][]float64{
+			{math.NaN(), math.Inf(1), math.Inf(-1)},
+			{math.Copysign(0, -1), 5e-324, nanPayload},
+		},
+		Y:       []int{0, 1},
+		Kinds:   []dataset.FeatureKind{dataset.Numeric, dataset.Categorical, dataset.Numeric},
+		Columns: []string{"a", "b", "c"},
+	}
+	assertDatasetIdentical(t, "edge", roundTrip(t, d), d)
+}
+
+// TestDatasetRoundTripDegenerateShapes covers empty and zero-width
+// datasets: both must round-trip, not error or panic.
+func TestDatasetRoundTripDegenerateShapes(t *testing.T) {
+	empty := &dataset.Dataset{Name: "empty", Domain: dataset.DomainOther}
+	assertDatasetIdentical(t, "empty", roundTrip(t, empty), empty)
+
+	zeroWidth := &dataset.Dataset{
+		Name: "zero-width",
+		X:    [][]float64{{}, {}, {}},
+		Y:    []int{0, 1, 0},
+	}
+	got := roundTrip(t, zeroWidth)
+	if len(got.Y) != 3 || len(got.X) != 3 {
+		t.Fatalf("zero-width: got %d rows / %d labels, want 3/3", len(got.X), len(got.Y))
+	}
+	for i, row := range got.X {
+		if len(row) != 0 {
+			t.Fatalf("zero-width: row %d has %d features", i, len(row))
+		}
+	}
+}
+
+// TestDatasetRaggedRejected: ragged matrices cannot be stored columnar and
+// must be rejected with an error at write time.
+func TestDatasetRaggedRejected(t *testing.T) {
+	ragged := &dataset.Dataset{
+		Name: "ragged",
+		X:    [][]float64{{1, 2}, {3}},
+		Y:    []int{0, 1},
+	}
+	if _, err := EncodeDataset(ragged); err == nil {
+		t.Fatal("EncodeDataset accepted a ragged matrix")
+	}
+}
+
+// TestDatasetZeroCopyViews checks the columnar accessors against the
+// row-major source, and that the mmap path actually maps on platforms that
+// support it.
+func TestDatasetZeroCopyViews(t *testing.T) {
+	d := synth.GenerateClean(synth.Spec{Name: "views", Gen: synth.GenClusters, N: 64, D: 5, Noise: 0.3}, synth.Quick, 3)
+	path := filepath.Join(t.TempDir(), "views.mlds")
+	if err := WriteDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Rows() != d.N() || f.Cols() != d.D() {
+		t.Fatalf("shape %d×%d, want %d×%d", f.Rows(), f.Cols(), d.N(), d.D())
+	}
+	for j := 0; j < f.Cols(); j++ {
+		col := f.Col(j)
+		for i, v := range col {
+			if math.Float64bits(v) != math.Float64bits(d.X[i][j]) {
+				t.Fatalf("Col(%d)[%d] = %v, want %v", j, i, v, d.X[i][j])
+			}
+		}
+	}
+	labels := f.Labels()
+	for i, y := range labels {
+		if y != d.Y[i] {
+			t.Fatalf("Labels()[%d] = %d, want %d", i, y, d.Y[i])
+		}
+	}
+}
+
+// TestDatasetCorruptionDetected: any flipped byte in the file must surface
+// as an ErrCorrupt-classified error, and truncations must never panic.
+func TestDatasetCorruptionDetected(t *testing.T) {
+	d := synth.GenerateClean(synth.Spec{Name: "corrupt", Gen: synth.GenLinear, N: 30, D: 3, Noise: 0.2}, synth.Quick, 9)
+	b, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(b); err != nil {
+		t.Fatalf("pristine bytes rejected: %v", err)
+	}
+	// Flip one byte at a spread of offsets, covering header, meta, data and
+	// footer corruption.
+	for _, off := range []int{0, 5, 9, 20, 41, 70, headerSize + 20, len(b) / 2, len(b) - 6, len(b) - 1} {
+		if off >= len(b) {
+			continue
+		}
+		mut := append([]byte(nil), b...)
+		mut[off] ^= 0xff
+		if _, err := ReadDataset(mut); err == nil {
+			t.Fatalf("flipped byte at %d accepted", off)
+		} else if !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("flipped byte at %d: error %v not classified ErrCorrupt", off, err)
+		}
+	}
+	for _, n := range []int{0, 3, headerSize - 1, headerSize, len(b) - footerSize, len(b) - 1} {
+		if _, err := ReadDataset(b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}

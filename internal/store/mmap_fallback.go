@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// mapFile on platforms without a wired-up mmap path: always fall back to
+// the plain read, which parses identically.
+func mapFile(f *os.File, size int64) (data []byte, ok bool, err error) {
+	return nil, false, nil
+}
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. ok=false means the platform or the file
+// shape doesn't support mapping and the caller should fall back to a read.
+func mapFile(f *os.File, size int64) (data []byte, ok bool, err error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, false, nil // empty or too large to address; read instead
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; the read fallback is byte-identical.
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"mlaasbench/internal/codec"
+	"mlaasbench/internal/platforms"
+)
+
+// MLMF fitted-model artifact layout (little-endian):
+//
+//	offset  0: magic "MLMF"
+//	offset  4: u16 version (currently 1)
+//	offset  6: u16 flags (reserved, 0)
+//	offset  8: u64 payloadLen
+//	offset 16: payload — codec: cache key string, then the
+//	           platforms.AppendFittedModel encoding
+//	end     : u32 CRC32-C over bytes [0, size-4)
+//
+// Artifacts are small (coefficients, trees, kNN backing), so the whole file
+// is read, CRC-verified, then decoded — no partial reads to tear.
+const (
+	mlmfMagic      = "MLMF"
+	mlmfVersion    = 1
+	mlmfHeaderSize = 16
+
+	// maxModelBytes caps how much of a claimed artifact the decoder will
+	// consider; the largest real artifact (kNN on the full corpus) is well
+	// under a hundredth of this.
+	maxModelBytes = 1 << 30
+	maxKeyLen     = 1 << 10
+)
+
+// EncodeModel serializes a fitted model under its cache key.
+func EncodeModel(key string, m platforms.FittedModel) ([]byte, error) {
+	payload := codec.AppendString(nil, key)
+	payload, err := platforms.AppendFittedModel(payload, m)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, mlmfHeaderSize, mlmfHeaderSize+len(payload)+4)
+	copy(b, mlmfMagic)
+	binary.LittleEndian.PutUint16(b[4:], mlmfVersion)
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(payload)))
+	b = append(b, payload...)
+	b = codec.AppendU32(b, crc32.Checksum(b, castagnoli))
+	return b, nil
+}
+
+// DecodeModel reconstructs the cache key and fitted model from an MLMF
+// artifact. Corrupt or truncated input errors; it never panics and never
+// allocates beyond what the delivered bytes justify.
+func DecodeModel(data []byte) (string, platforms.FittedModel, error) {
+	size := len(data)
+	if size > maxModelBytes {
+		return "", nil, modelErrf("artifact %d bytes exceeds limit %d", size, maxModelBytes)
+	}
+	if size < mlmfHeaderSize+4 {
+		return "", nil, modelErrf("artifact %d bytes, need at least %d", size, mlmfHeaderSize+4)
+	}
+	if string(data[:4]) != mlmfMagic {
+		return "", nil, modelErrf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != mlmfVersion {
+		return "", nil, modelErrf("version %d, want %d", v, mlmfVersion)
+	}
+	if plen := binary.LittleEndian.Uint64(data[8:]); plen != uint64(size-mlmfHeaderSize-4) {
+		return "", nil, modelErrf("payload length %d, file carries %d", plen, size-mlmfHeaderSize-4)
+	}
+	want := binary.LittleEndian.Uint32(data[size-4:])
+	if got := crc32.Checksum(data[:size-4], castagnoli); got != want {
+		return "", nil, modelErrf("CRC mismatch: file says %08x, payload is %08x", want, got)
+	}
+	r := codec.NewReader(data[mlmfHeaderSize : size-4])
+	key := r.String(maxKeyLen)
+	m, err := platforms.DecodeFittedModel(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if r.Remaining() != 0 {
+		return "", nil, modelErrf("%d trailing bytes after model", r.Remaining())
+	}
+	return key, m, nil
+}
+
+func modelErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: mlmf: %s", codec.ErrCorrupt, fmt.Sprintf(format, args...))
+}

@@ -69,6 +69,21 @@ const (
 	AdmissionAdmittedTotal = "mlaas_admission_admitted_total"
 	AdmissionShedTotal     = "mlaas_admission_shed_total"
 	AdmissionQueueDepth    = "mlaas_admission_queue_depth"
+
+	// Store* instrument the disk tier beneath the fitted-model LRU
+	// (internal/store): a store hit loaded an artifact instead of refitting,
+	// a store miss found no artifact for the key (the fit runs and is then
+	// persisted), a demotion wrote an evicted model to disk, and a warm load
+	// filled the cache from disk at boot.
+	StoreHits      = "mlaas_store_hits_total"
+	StoreMisses    = "mlaas_store_misses_total"
+	StoreDemotions = "mlaas_store_demotions_total"
+	StoreWarmLoads = "mlaas_store_warm_loads_total"
+
+	// StoreLoadHistogram records how long loading one model artifact from
+	// disk took, labeled op="hit"|"warm" — the disk-tier counterpart of the
+	// fit time it replaces.
+	StoreLoadHistogram = "mlaas_store_load_duration_seconds"
 )
 
 func init() {
@@ -91,4 +106,9 @@ func init() {
 	Default().Describe(AdmissionAdmittedTotal, "Requests admitted past the admission queue, by route.")
 	Default().Describe(AdmissionShedTotal, "Requests shed with 503 + Retry-After, by route.")
 	Default().Describe(AdmissionQueueDepth, "Requests currently waiting in the admission queue, by route.")
+	Default().Describe(StoreHits, "Model-cache misses served by loading a disk artifact instead of refitting.")
+	Default().Describe(StoreMisses, "Model-cache misses with no disk artifact (fit ran, artifact persisted).")
+	Default().Describe(StoreDemotions, "Evicted models demoted to disk artifacts.")
+	Default().Describe(StoreWarmLoads, "Models warmed into the cache from disk at boot.")
+	Default().Describe(StoreLoadHistogram, "Disk artifact load duration in seconds, by op (hit or warm).")
 }
