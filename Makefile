@@ -3,16 +3,18 @@
 # client, wire, and the parallel sweep engine in core/pipeline/platforms), a
 # short loadgen smoke that exercises the serving path end-to-end, a wire
 # smoke (binary-vs-JSON equivalence over a live server + decoder fuzz seed
-# corpus), and a perf-tracking smoke (mlaas-perf run/compare/report against
-# perf/results/).
+# corpus), a perf-tracking smoke (mlaas-perf run/compare/report against
+# perf/results/), and a profiling smoke (bundle capture -> list -> diff
+# through mlaas-profile, SLO watchdog tests under -race).
 # CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
 
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
-	./internal/wire ./internal/pipeline ./internal/platforms ./internal/store
+	./internal/wire ./internal/pipeline ./internal/platforms ./internal/store \
+	./internal/profiling
 
-.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke perf-run perf-compare perf-report
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke perf-run perf-compare perf-report
 
 all: check
 
@@ -32,7 +34,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -81,6 +83,21 @@ perf-smoke:
 		-no-save -out /tmp/mlaas-perf-smoke.json
 	$(GO) run ./cmd/mlaas-perf compare -candidate /tmp/mlaas-perf-smoke.json -report-only
 	$(GO) run ./cmd/mlaas-perf report >/dev/null
+
+# Continuous-profiling smoke: a capture -> list -> diff round trip through
+# the real CLI against bundles captured during a loadgen pass, plus the SLO
+# watchdog's window arithmetic and trigger path under the race detector.
+# (The full e2e — breach-triggered capture with trace refs, hot-symbol
+# diff — runs in `make test` via internal/profiling; this target proves
+# the operator-facing loop.)
+profile-smoke:
+	rm -rf /tmp/mlaas-profile-smoke
+	$(GO) run ./cmd/mlaas-loadgen -clients 2 -batch 32 -duration 1s \
+		-profile-dir /tmp/mlaas-profile-smoke >/dev/null
+	$(GO) run ./cmd/mlaas-profile -dir /tmp/mlaas-profile-smoke list
+	$(GO) run ./cmd/mlaas-profile -dir /tmp/mlaas-profile-smoke show latest >/dev/null
+	$(GO) run ./cmd/mlaas-profile -dir /tmp/mlaas-profile-smoke diff first latest -top 5
+	$(GO) test -race -count=1 -run 'TestBurnWindow|TestWatchdog|TestSLOBreach' ./internal/profiling
 
 # A real measured run appended to the committed history (5 rounds, CV-gated
 # reruns). Commit the new perf/results/ file with the change it measures.

@@ -55,6 +55,7 @@ import (
 	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/profiling"
 	"mlaasbench/internal/synth"
 	"mlaasbench/internal/telemetry"
 )
@@ -77,7 +78,10 @@ func main() {
 	telemetrySummary := flag.Bool("telemetry", true, "print telemetry summary (stage latencies, counters) to stderr at exit")
 	progress := flag.Bool("progress", false, "repaint a live sweep progress line on stderr (ignored with -v)")
 	progressAddr := flag.String("progress-addr", "", "serve sweep progress as JSON at this address under /progress")
-	traceOut := flag.String("trace-out", "", "export retained traces as JSONL here at exit (analyse with mlaas-trace)")
+	traceOut := flag.String("trace-out", "", "export retained traces as JSONL here (analyse with mlaas-trace)")
+	profileDir := flag.String("profile-dir", "",
+		"capture continuous-profiler bundles into this directory: periodic captures during the sweep plus one tagged end-of-run bundle (inspect with mlaas-profile)")
+	profileInterval := flag.Duration("profile-interval", 30*time.Second, "period between periodic captures while the run is in flight")
 	flag.Parse()
 
 	// Kernel durations land in the default registry so the -telemetry
@@ -85,6 +89,19 @@ func main() {
 	linalg.SetKernelHook(func(kernel string, seconds float64) {
 		telemetry.Default().Histogram(telemetry.KernelHistogram, "kernel", kernel).Observe(seconds)
 	})
+
+	// The profiler shares the default registry with everything above, so
+	// its sidecars link the slowest sweep traces and its counters land in
+	// the -telemetry summary.
+	var prof *profiling.Profiler
+	if *profileDir != "" {
+		var err error
+		prof, err = profiling.New(profiling.Config{Dir: *profileDir, Interval: *profileInterval})
+		if err != nil {
+			fatal(err)
+		}
+		prof.Start()
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -268,6 +285,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "traces written to %s\n", *traceOut)
+	}
+	if prof != nil {
+		if _, err := prof.CaptureNow("end-of-run", profiling.ReasonManual, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "mlaas-bench: end-of-run profile capture: %v\n", err)
+		}
+		prof.Stop()
+		fmt.Fprintf(os.Stderr, "profile bundles in %s (inspect with mlaas-profile -dir %s list)\n", *profileDir, *profileDir)
 	}
 }
 

@@ -74,6 +74,7 @@ import (
 	"mlaasbench/internal/linalg"
 	"mlaasbench/internal/perf"
 	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/profiling"
 	"mlaasbench/internal/rng"
 	"mlaasbench/internal/service"
 	"mlaasbench/internal/synth"
@@ -142,6 +143,7 @@ func main() {
 		perfDir    = flag.String("perf-dir", "", "also append this run as a perf history record (same schema as mlaas-perf run) into this directory, e.g. perf/results")
 		perfLabel  = flag.String("perf-label", "loadgen", "label stamped on the perf history record")
 		traceOut   = flag.String("trace-out", "", "export every pass's retained traces as JSONL here (analyse with mlaas-trace)")
+		profDir    = flag.String("profile-dir", "", "capture one profile bundle per pass into this directory, concurrent with the pass so the CPU window samples it under load (inspect with mlaas-profile)")
 		telSummary = flag.Bool("telemetry", false, "print each pass's telemetry summary to stderr")
 	)
 	flag.Parse()
@@ -205,19 +207,27 @@ func main() {
 			defer srv.Close()
 			target = srv.URL
 		}
-		sat, err := runSaturation(target, *platform, cfg, sp, *seed, *clients, *batch, codec, *saturate, *satDur, reg)
+		err := profiledPass(*profDir, "saturation", reg, captureWindow(*satDur), func() error {
+			sat, err := runSaturation(target, *platform, cfg, sp, *seed, *clients, *batch, codec, *saturate, *satDur, reg)
+			rep.Saturation = sat
+			return err
+		})
 		if err != nil {
 			log.Fatalf("loadgen: saturation sweep: %v", err)
 		}
-		rep.Saturation = sat
 		passRegs = append(passRegs, reg)
 	} else if *url != "" {
 		reg := telemetry.NewRegistry()
-		pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
+		err := profiledPass(*profDir, "pass-remote", reg, captureWindow(*duration), func() error {
+			pass, err := runPass("remote", *url, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
+			if err == nil {
+				rep.Passes = append(rep.Passes, pass)
+			}
+			return err
+		})
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
-		rep.Passes = append(rep.Passes, pass)
 		passRegs = append(passRegs, reg)
 	} else {
 		// Two in-process passes over identical workloads. "refit" is the
@@ -233,12 +243,17 @@ func main() {
 				WithModelCache(arm.cache).
 				WithPredictShards(*shards).
 				Handler())
-			pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
+			err := profiledPass(*profDir, "pass-"+arm.name, reg, captureWindow(*duration), func() error {
+				pass, err := runPass(arm.name, srv.URL, *platform, cfg, sp, *seed, *clients, *batch, *duration, codec, reg)
+				if err == nil {
+					rep.Passes = append(rep.Passes, pass)
+				}
+				return err
+			})
 			srv.Close()
 			if err != nil {
 				log.Fatalf("loadgen: %s pass: %v", arm.name, err)
 			}
-			rep.Passes = append(rep.Passes, pass)
 			passRegs = append(passRegs, reg)
 		}
 		if rep.Passes[0].ReqPerSec > 0 {
@@ -282,6 +297,45 @@ func main() {
 	}
 }
 
+// profiledPass runs fn, capturing one profile bundle concurrently when
+// dir is set — the CPU window then samples the pass while it is actually
+// under load, and the sidecar links the pass registry's slowest retained
+// traces. Tags become part of the bundle id, so `mlaas-profile diff
+// pass-refit pass-forward` compares the two arms directly.
+func profiledPass(dir, tag string, reg *telemetry.Registry, window time.Duration, fn func() error) error {
+	if dir == "" {
+		return fn()
+	}
+	p, err := profiling.New(profiling.Config{Dir: dir, CPUDuration: window, Registry: reg})
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.CaptureNow(tag, profiling.ReasonManual, nil); err != nil {
+			log.Printf("loadgen: profile capture (%s): %v", tag, err)
+		}
+	}()
+	err = fn()
+	<-done
+	return err
+}
+
+// captureWindow sizes a pass's CPU sampling window: half the pass, kept
+// inside [100ms, 2s] so short passes still sample and long ones don't
+// drag the capture out.
+func captureWindow(d time.Duration) time.Duration {
+	w := d / 2
+	if w > 2*time.Second {
+		w = 2 * time.Second
+	}
+	if w < 100*time.Millisecond {
+		w = 100 * time.Millisecond
+	}
+	return w
+}
+
 // perfRecord reshapes the report into the append-only perf/results schema.
 // perf.LoadgenResults is shared with the legacy-BENCH converter, so live
 // runs extend the same (name, unit) series the converted history started.
@@ -313,6 +367,30 @@ func perfRecord(rep Report, label string) *perf.Record {
 			one("loadgen/saturation/peak_goodput", "req/s", s.PeakGoodputRPS),
 			one("loadgen/saturation/goodput_at_2x_knee", "req/s", s.GoodputAt2xKneeRPS),
 		)
+		// Sweep-wide failure accounting: the 503 shed total (admission
+		// control doing its job) plus every non-shed error bucketed by
+		// status, so a record shows *how* a point failed, not just that it
+		// did. Lower is better for all of these ("count" has no "/s").
+		shed, errTotal := 0, 0
+		byStatus := map[string]int{}
+		for _, p := range s.Points {
+			shed += p.Shed
+			errTotal += p.Errors
+			for k, v := range p.ErrorsByStatus {
+				byStatus[k] += v
+			}
+		}
+		rec.Results = append(rec.Results,
+			one("loadgen/saturation/shed_503", "count", float64(shed)),
+			one("loadgen/saturation/errors", "count", float64(errTotal)),
+		)
+		for _, k := range sortedStatusKeys(byStatus) {
+			if k == "503" {
+				continue // already the shed_503 series
+			}
+			rec.Results = append(rec.Results,
+				one("loadgen/saturation/errors_"+k, "count", float64(byStatus[k])))
+		}
 	}
 	if r := rep.Restart; r != nil {
 		rec.Notes = fmt.Sprintf("restart A/B: %s %s, %d trials, batch %d",
@@ -324,6 +402,17 @@ func perfRecord(rep Report, label string) *perf.Record {
 		)
 	}
 	return rec
+}
+
+// sortedStatusKeys orders an ErrorsByStatus breakdown for stable perf
+// series emission ("network" sorts after numeric codes naturally).
+func sortedStatusKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // exportTraces writes every pass's retained traces to one JSONL file, each
@@ -501,8 +590,16 @@ func printSummary(rep Report) {
 			fmt.Printf("  closed-loop capacity: %.1f req/s\n", s.CapacityRPS)
 		}
 		for _, pt := range s.Points {
-			fmt.Printf("  offered %8.1f req/s  goodput %8.1f req/s  shed %8.1f req/s (%d)  dropped %d  errs %d  p95 %.2fms\n",
-				pt.OfferedRPS, pt.GoodputRPS, pt.ShedRPS, pt.Shed, pt.Dropped, pt.Errors, pt.P95Ms)
+			breakdown := ""
+			if len(pt.ErrorsByStatus) > 0 {
+				parts := make([]string, 0, len(pt.ErrorsByStatus))
+				for _, k := range sortedStatusKeys(pt.ErrorsByStatus) {
+					parts = append(parts, fmt.Sprintf("%s:%d", k, pt.ErrorsByStatus[k]))
+				}
+				breakdown = "  [" + strings.Join(parts, " ") + "]"
+			}
+			fmt.Printf("  offered %8.1f req/s  goodput %8.1f req/s  shed %8.1f req/s (%d)  dropped %d  errs %d  p95 %.2fms%s\n",
+				pt.OfferedRPS, pt.GoodputRPS, pt.ShedRPS, pt.Shed, pt.Dropped, pt.Errors, pt.P95Ms, breakdown)
 		}
 		fmt.Printf("  knee %.1f req/s, peak goodput %.1f req/s, goodput at 2x knee %.1f req/s (%.0f%% of peak)\n",
 			s.KneeRPS, s.PeakGoodputRPS, s.GoodputAt2xKneeRPS, 100*safeRatio(s.GoodputAt2xKneeRPS, s.PeakGoodputRPS))

@@ -36,6 +36,10 @@ type SaturationPoint struct {
 	Errors      int     `json:"errors"`
 	DurationSec float64 `json:"duration_sec"`
 	P95Ms       float64 `json:"p95_ms"` // over in-window successful requests only
+	// ErrorsByStatus breaks every failed arrival down by HTTP status code
+	// ("503", "500", ...); transport failures that never carried a status
+	// are keyed "network". The "503" entry equals Shed.
+	ErrorsByStatus map[string]int `json:"errors_by_status,omitempty"`
 }
 
 // SaturationReport is the sweep artifact: the goodput-vs-offered-load curve
@@ -180,6 +184,7 @@ func runOpenLoop(ctx context.Context, url, platform, modelID string, instances [
 		dropped   int // arrivals refused at the in-flight cap
 		shed      int
 		errs      int
+		byStatus  map[string]int
 	)
 	// Warm the connection pool before the window opens: the first arrivals
 	// would otherwise all pay dials, depressing the point's goodput in a
@@ -217,8 +222,10 @@ func runOpenLoop(ctx context.Context, url, platform, modelID string, instances [
 				late++
 			case client.StatusCode(err) == http.StatusServiceUnavailable:
 				shed++
+				byStatus = countStatus(byStatus, err)
 			default:
 				errs++
+				byStatus = countStatus(byStatus, err)
 			}
 		}()
 	}
@@ -262,11 +269,28 @@ func runOpenLoop(ctx context.Context, url, platform, modelID string, instances [
 		Good:        good,
 		Late:        late,
 		Dropped:     dropped,
-		Shed:        shed,
-		Errors:      errs,
-		DurationSec: window,
-		P95Ms:       quantile(latencies, 0.95),
+		Shed:           shed,
+		Errors:         errs,
+		DurationSec:    window,
+		P95Ms:          quantile(latencies, 0.95),
+		ErrorsByStatus: byStatus,
 	}
+}
+
+// countStatus buckets one failed arrival by its HTTP status code; errors
+// that never reached the server (dial/timeout/decode) land in "network".
+// The map is allocated lazily so fully-successful points marshal without
+// an errors_by_status key.
+func countStatus(m map[string]int, err error) map[string]int {
+	if m == nil {
+		m = make(map[string]int)
+	}
+	if code := client.StatusCode(err); code != 0 {
+		m[strconv.Itoa(code)]++
+	} else {
+		m["network"]++
+	}
+	return m
 }
 
 // openLoopMaxInflight bounds concurrent outstanding open-loop requests. It

@@ -89,6 +89,9 @@ func TestOpenLoopAccounting(t *testing.T) {
 				t.Errorf("server saw %d requests for %d sheds (+%d warm-ups); sheds must not be retried",
 					served, p.Shed, openLoopWarmup)
 			}
+			if p.ErrorsByStatus["503"] != p.Shed {
+				t.Errorf("errors_by_status[503]=%d, want the shed count %d", p.ErrorsByStatus["503"], p.Shed)
+			}
 		}},
 		{"all good", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -99,6 +102,9 @@ func TestOpenLoopAccounting(t *testing.T) {
 			}
 			if p.GoodputRPS <= 0 {
 				t.Errorf("goodput=%v, want > 0", p.GoodputRPS)
+			}
+			if p.ErrorsByStatus != nil {
+				t.Errorf("errors_by_status=%v on an all-good point, want nil (omitted from JSON)", p.ErrorsByStatus)
 			}
 		}},
 		{"all errors", func(w http.ResponseWriter, r *http.Request) {
@@ -111,6 +117,9 @@ func TestOpenLoopAccounting(t *testing.T) {
 			if served != p.Errors+openLoopWarmup {
 				t.Errorf("server saw %d requests for %d errors (+%d warm-ups); open loop must not retry",
 					served, p.Errors, openLoopWarmup)
+			}
+			if p.ErrorsByStatus["500"] != p.Errors {
+				t.Errorf("errors_by_status[500]=%d, want the error count %d", p.ErrorsByStatus["500"], p.Errors)
 			}
 		}},
 	}

@@ -191,12 +191,12 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mlaas-perf: %v\n", err)
 			return exitErr
 		}
-		filtered := perf.FilterKind(entries, cand.Kind)
-		if len(filtered) == 0 {
-			fmt.Fprintf(stderr, "mlaas-perf: no %s history in %s to compare the candidate against\n", cand.Kind, *dir)
+		base, ok := perf.Baseline(entries, cand.Kind, cand)
+		if !ok {
+			fmt.Fprintf(stderr, "mlaas-perf: no %s record in %s shares a series with the candidate; nothing to compare\n", cand.Kind, *dir)
 			return exitErr
 		}
-		old, latest = filtered[len(filtered)-1].Record, cand
+		old, latest = base.Record, cand
 	} else {
 		prev, last, ok := perf.LatestPair(entries, *kind)
 		if !ok {

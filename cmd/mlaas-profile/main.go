@@ -1,0 +1,321 @@
+// Command mlaas-profile inspects the on-disk profile bundles written by
+// the continuous profiler (mlaas-server -profile-dir, mlaas-bench/
+// mlaas-loadgen -profile-dir, or fetched from /debug/profiles).
+//
+// Usage:
+//
+//	mlaas-profile -dir profiles list
+//	mlaas-profile -dir profiles show [-kind cpu] [-top 20] [-type name] <bundle>
+//	mlaas-profile -dir profiles diff [-kind cpu] [-top 20] [-type name] <bundle A> <bundle B>
+//
+// A <bundle> selector is a bundle id, a tag (newest match wins), the
+// words "latest"/"first", or a path to a raw .pprof file — so diffing a
+// server bundle against a file pulled from another machine works too.
+//
+// diff prints the top-N flat/cum symbol deltas between A and B: run it
+// between an idle capture and one taken under load to see what the load
+// costs, or between bundles before and after a kernel change to see what
+// the change bought.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mlaasbench/internal/profiling"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: mlaas-profile -dir <profile-dir> <command> [args]
+
+commands:
+  list                                      list bundles, oldest first
+  show [-kind K] [-top N] [-type T] <A>     sidecar + top-N hotspots of one bundle
+  diff [-kind K] [-top N] [-type T] <A> <B> top-N symbol deltas between two bundles
+
+bundle selectors: a bundle id, a tag (newest match), "latest", "first",
+or a path to a .pprof file.`)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlaas-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "profiles", "profile bundle directory")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "list":
+		err = runList(stdout, *dir, rest)
+	case "show":
+		err = runShow(stdout, stderr, *dir, rest)
+	case "diff":
+		err = runDiff(stdout, stderr, *dir, rest)
+	default:
+		fmt.Fprintf(stderr, "mlaas-profile: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mlaas-profile: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func runList(w io.Writer, dir string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("list takes no arguments")
+	}
+	store, err := profiling.OpenStore(dir, 0)
+	if err != nil {
+		return err
+	}
+	metas, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(metas) == 0 {
+		fmt.Fprintf(w, "no bundles in %s\n", dir)
+		return nil
+	}
+	fmt.Fprintf(w, "%-42s %-8s %-20s %8s %6s %6s %s\n", "id", "reason", "start", "dur", "profs", "traces", "slo")
+	for _, m := range metas {
+		fmt.Fprintf(w, "%-42s %-8s %-20s %8s %6d %6d %s\n",
+			m.ID, m.Reason, m.Start.Format("2006-01-02T15:04:05Z"),
+			m.End.Sub(m.Start).Round(time.Millisecond),
+			len(m.Profiles), len(m.SlowTraces), sloSummary(m))
+	}
+	return nil
+}
+
+// sloSummary renders a bundle's SLO state one-line: breached SLOs with
+// their worst burn rate, or "-" when none was recorded.
+func sloSummary(m profiling.Meta) string {
+	var parts []string
+	for _, s := range m.SLO {
+		if !s.Breached {
+			continue
+		}
+		worst := s.LatencyBurnRate
+		if s.ErrorBurnRate > worst {
+			worst = s.ErrorBurnRate
+		}
+		parts = append(parts, fmt.Sprintf("%s!burn=%.1f", s.Name, worst))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// reportFlags are the shared show/diff options.
+type reportFlags struct {
+	kind       string
+	top        int
+	sampleType string
+}
+
+func parseReportFlags(name string, stderr io.Writer, args []string) (reportFlags, []string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rf := reportFlags{}
+	fs.StringVar(&rf.kind, "kind", "cpu", "profile kind (cpu, heap, mutex, block, goroutine)")
+	fs.IntVar(&rf.top, "top", 20, "how many symbols to print")
+	fs.StringVar(&rf.sampleType, "type", "", "sample-type column (default: the profile's default)")
+	// Re-enter Parse after each positional so flags may come before,
+	// after, or between bundle selectors ("diff first latest -top 5").
+	var rest []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return rf, nil, err
+		}
+		if fs.NArg() == 0 {
+			return rf, rest, nil
+		}
+		rest = append(rest, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+}
+
+func runShow(w io.Writer, stderr io.Writer, dir string, args []string) error {
+	rf, rest, err := parseReportFlags("show", stderr, args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("show needs exactly one bundle selector")
+	}
+	prof, meta, err := resolve(dir, rest[0], rf.kind)
+	if err != nil {
+		return err
+	}
+	if meta != nil {
+		printMeta(w, *meta)
+	}
+	idx := prof.DefaultValueIndex()
+	if rf.sampleType != "" {
+		if idx = prof.ValueIndex(rf.sampleType); idx < 0 {
+			return fmt.Errorf("profile has no sample type %q", rf.sampleType)
+		}
+	}
+	profiling.WriteTop(w, prof, idx, rf.top)
+	return nil
+}
+
+func printMeta(w io.Writer, m profiling.Meta) {
+	fmt.Fprintf(w, "bundle  %s\n", m.ID)
+	fmt.Fprintf(w, "reason  %s  tag %s\n", m.Reason, m.Tag)
+	fmt.Fprintf(w, "window  %s .. %s (%s)\n", m.Start.Format(time.RFC3339), m.End.Format(time.RFC3339), m.End.Sub(m.Start).Round(time.Millisecond))
+	fmt.Fprintf(w, "env     %s\n", m.Env.String())
+	fmt.Fprintf(w, "health  %d goroutines, heap %s, %d GCs\n",
+		m.Health.Goroutines, profiling.FormatValue(int64(m.Health.HeapInuse), "bytes"), m.Health.GCCycles)
+	for _, s := range m.SLO {
+		state := "ok"
+		if s.Breached {
+			state = "BREACHED"
+		}
+		fmt.Fprintf(w, "slo     %s %s  latency burn %.2f  error burn %.2f  queue %d\n",
+			s.Name, state, s.LatencyBurnRate, s.ErrorBurnRate, s.QueueDepth)
+	}
+	for _, tr := range m.SlowTraces {
+		line := fmt.Sprintf("trace   %s %s %.3fs", tr.TraceID, tr.Name, tr.DurationSeconds)
+		if tr.Error != "" {
+			line += "  ERROR " + tr.Error
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, kv := range sortedAttrs(m.Attrs) {
+		fmt.Fprintf(w, "attr    %s\n", kv)
+	}
+	fmt.Fprintln(w)
+}
+
+// sortedAttrs renders attrs deterministically.
+func sortedAttrs(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%s", k, attrs[k]))
+	}
+	return out
+}
+
+func runDiff(w io.Writer, stderr io.Writer, dir string, args []string) error {
+	rf, rest, err := parseReportFlags("diff", stderr, args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 2 {
+		return fmt.Errorf("diff needs exactly two bundle selectors (A B)")
+	}
+	profA, metaA, err := resolve(dir, rest[0], rf.kind)
+	if err != nil {
+		return fmt.Errorf("A (%s): %w", rest[0], err)
+	}
+	profB, metaB, err := resolve(dir, rest[1], rf.kind)
+	if err != nil {
+		return fmt.Errorf("B (%s): %w", rest[1], err)
+	}
+	deltas, err := profiling.Diff(profA, profB, rf.sampleType)
+	if err != nil {
+		return err
+	}
+	label := func(m *profiling.Meta, sel string) string {
+		if m != nil {
+			return m.ID
+		}
+		return sel
+	}
+	fmt.Fprintf(w, "diff %s: A=%s B=%s (Δ = B - A)\n", rf.kind, label(metaA, rest[0]), label(metaB, rest[1]))
+	idx := profB.DefaultValueIndex()
+	if rf.sampleType != "" {
+		idx = profB.ValueIndex(rf.sampleType)
+	}
+	unit := ""
+	if idx >= 0 && idx < len(profB.SampleTypes) {
+		unit = profB.SampleTypes[idx].Unit
+	}
+	profiling.WriteDiff(w, deltas, unit, rf.top)
+	return nil
+}
+
+// resolve turns a selector into a parsed profile (+ sidecar when the
+// selector named a bundle rather than a raw file).
+func resolve(dir, sel, kind string) (*profiling.Profile, *profiling.Meta, error) {
+	// A path to an existing file wins: raw pprof files need no store.
+	if st, err := os.Stat(sel); err == nil && !st.IsDir() {
+		blob, err := os.ReadFile(sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof, err := profiling.ParseProfile(blob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", sel, err)
+		}
+		return prof, nil, nil
+	}
+	store, err := profiling.OpenStore(dir, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := findBundle(store, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := store.Profile(meta.ID, kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, &meta, nil
+}
+
+// findBundle resolves "latest"/"first", an exact id, or a tag (newest
+// match wins, so "slo-predict-p99" picks the most recent trigger).
+func findBundle(store *profiling.Store, sel string) (profiling.Meta, error) {
+	metas, err := store.List()
+	if err != nil {
+		return profiling.Meta{}, err
+	}
+	if len(metas) == 0 {
+		return profiling.Meta{}, fmt.Errorf("no bundles in %s", store.Dir())
+	}
+	switch sel {
+	case "latest":
+		return metas[len(metas)-1], nil
+	case "first":
+		return metas[0], nil
+	}
+	for _, m := range metas {
+		if m.ID == sel {
+			return m, nil
+		}
+	}
+	for i := len(metas) - 1; i >= 0; i-- {
+		if metas[i].Tag == sel || strings.Contains(metas[i].ID, sel) {
+			return metas[i], nil
+		}
+	}
+	return profiling.Meta{}, fmt.Errorf("no bundle matches %q (try: mlaas-profile -dir %s list)", sel, store.Dir())
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/profiling"
+	"mlaasbench/internal/telemetry"
+)
+
+// captureBundles writes two real bundles into dir and returns their ids.
+func captureBundles(t *testing.T, dir string) (a, b string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	p, err := profiling.New(profiling.Config{
+		Dir:         dir,
+		CPUDuration: 10 * time.Millisecond,
+		Registry:    reg,
+		TraceSource: func() []telemetry.TraceSummary {
+			return []telemetry.TraceSummary{{TraceID: "tr-1", Name: "predict", DurationSeconds: 0.25}}
+		},
+		MutexFraction: -1,
+		BlockRateNs:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := p.CaptureNow("idle", profiling.ReasonManual, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := p.CaptureNow("loaded", profiling.ReasonManual, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ma.ID, mb.ID
+}
+
+func TestListShowDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	idA, idB := captureBundles(t, dir)
+
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "list"}, &out, &errb); code != 0 {
+		t.Fatalf("list exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), idA) || !strings.Contains(out.String(), idB) {
+		t.Fatalf("list missing bundle ids:\n%s", out.String())
+	}
+
+	// show by id, by tag, and by "latest" — heap is always present.
+	for _, sel := range []string{idA, "idle", "latest"} {
+		out.Reset()
+		errb.Reset()
+		if code := run([]string{"-dir", dir, "show", "-kind", "heap", "-top", "5", sel}, &out, &errb); code != 0 {
+			t.Fatalf("show %s exit %d: %s", sel, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "bundle  ") || !strings.Contains(out.String(), "sample type") {
+			t.Fatalf("show %s output:\n%s", sel, out.String())
+		}
+		if !strings.Contains(out.String(), "tr-1") {
+			t.Fatalf("show %s lost the slow-trace ref:\n%s", sel, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-dir", dir, "diff", "-kind", "heap", "first", "latest"}, &out, &errb); code != 0 {
+		t.Fatalf("diff exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Δflat") || !strings.Contains(out.String(), idA) || !strings.Contains(out.String(), idB) {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+}
+
+func TestDiffAgainstRawFile(t *testing.T) {
+	dir := t.TempDir()
+	_, idB := captureBundles(t, dir)
+
+	// Copy one bundle's heap profile out as a bare .pprof file.
+	store, err := profiling.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := store.ProfilePath(idB, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := filepath.Join(t.TempDir(), "external.pprof")
+	if err := os.WriteFile(raw, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "diff", "-kind", "heap", raw, "latest"}, &out, &errb); code != 0 {
+		t.Fatalf("diff exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "A="+raw) {
+		t.Fatalf("raw-file label missing:\n%s", out.String())
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("bare invocation exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("no usage on stderr: %s", errb.String())
+	}
+
+	errb.Reset()
+	if code := run([]string{"-dir", t.TempDir(), "show", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("show on empty store exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no bundles") {
+		t.Fatalf("unhelpful empty-store error: %s", errb.String())
+	}
+
+	errb.Reset()
+	dir := t.TempDir()
+	captureBundles(t, dir)
+	if code := run([]string{"-dir", dir, "show", "no-such-bundle"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown selector exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no bundle matches") {
+		t.Fatalf("unhelpful selector error: %s", errb.String())
+	}
+}

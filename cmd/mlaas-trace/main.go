@@ -17,8 +17,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -27,40 +30,76 @@ import (
 )
 
 func main() {
-	var (
-		top   = flag.Int("top", 3, "how many slowest traces get a critical-path breakdown")
-		flame = flag.Int("flame", 15, "how many paths the self-time summary lists")
-	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mlaas-trace [-top N] [-flame N] traces.jsonl [more.jsonl ...]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlaas-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 3, "how many slowest traces get a critical-path breakdown")
+	flame := fs.Int("flame", 15, "how many paths the self-time summary lists")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: mlaas-trace [-top N] [-flame N] traces.jsonl [more.jsonl ...]")
+		return 2
 	}
 	var frags []telemetry.TraceData
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
+	for _, path := range fs.Args() {
+		ts, err := loadTraceFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlaas-trace: %v\n", err)
-			os.Exit(1)
-		}
-		ts, err := telemetry.ReadTraceJSONL(f)
-		_ = f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlaas-trace: %s: %v\n", path, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mlaas-trace: %v\n", err)
+			return 1
 		}
 		frags = append(frags, ts...)
 	}
 	if len(frags) == 0 {
-		fmt.Fprintln(os.Stderr, "mlaas-trace: no traces in input")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mlaas-trace: no traces in input")
+		return 1
 	}
 	traces := mergeFragments(frags)
-	fmt.Printf("%d traces (%d fragments) from %d file(s)\n\n", len(traces), len(frags), flag.NArg())
-	printStages(os.Stdout, stageBreakdown(traces))
-	printPlatforms(os.Stdout, platformRollup(traces))
-	printCriticalPaths(os.Stdout, traces, *top)
-	printFlame(os.Stdout, selfTimeByPath(traces), *flame)
+	fmt.Fprintf(stdout, "%d traces (%d fragments) from %d file(s)\n\n", len(traces), len(frags), fs.NArg())
+	printStages(stdout, stageBreakdown(traces))
+	printPlatforms(stdout, platformRollup(traces))
+	printCriticalPaths(stdout, traces, *top)
+	printFlame(stdout, selfTimeByPath(traces), *flame)
+	return 0
+}
+
+// loadTraceFile reads one trace JSONL file with line-accurate diagnostics.
+// Three failure shapes that used to surface as a bare "unexpected EOF" or a
+// silent empty report each get a distinct, actionable error: a file with no
+// trace lines at all, a final record cut off mid-line (interrupted export),
+// and a line that parses as JSON but is not a trace record.
+func loadTraceFile(path string) ([]telemetry.TraceData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%s: empty input: no trace JSONL lines (export some with mlaas-bench/mlaas-loadgen -trace-out, or GET /debug/traces from a server)", path)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	var out []telemetry.TraceData
+	for i, line := range lines {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var t telemetry.TraceData
+		if err := json.Unmarshal(trimmed, &t); err != nil {
+			if i == len(lines)-1 && !bytes.HasSuffix(data, []byte("\n")) {
+				return nil, fmt.Errorf("%s:%d: truncated trace record — the file ends mid-line, so the export was probably interrupted; re-export or delete the partial last line (parse error: %v)", path, i+1, err)
+			}
+			return nil, fmt.Errorf("%s:%d: bad trace JSONL: %v", path, i+1, err)
+		}
+		if t.TraceID == "" {
+			return nil, fmt.Errorf("%s:%d: JSON object has no trace_id; this is not a trace JSONL export", path, i+1)
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 // node is the mutable form of SpanData used while stitching fragments.
@@ -310,7 +349,7 @@ func selfTimeByPath(traces []telemetry.TraceData) []pathStat {
 
 func ms(sec float64) float64 { return sec * 1000 }
 
-func printStages(w *os.File, stages []stageStat) {
+func printStages(w io.Writer, stages []stageStat) {
 	fmt.Fprintln(w, "== stages (by total time) ==")
 	fmt.Fprintf(w, "%-22s %8s %10s %9s %9s %9s %9s\n", "span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "max_ms")
 	for _, s := range stages {
@@ -321,7 +360,7 @@ func printStages(w *os.File, stages []stageStat) {
 	fmt.Fprintln(w)
 }
 
-func printPlatforms(w *os.File, plats []platStat) {
+func printPlatforms(w io.Writer, plats []platStat) {
 	fmt.Fprintln(w, "== platforms ==")
 	fmt.Fprintf(w, "%-14s %8s %10s %9s %7s\n", "platform", "traces", "total_ms", "mean_ms", "errors")
 	for _, p := range plats {
@@ -331,7 +370,7 @@ func printPlatforms(w *os.File, plats []platStat) {
 	fmt.Fprintln(w)
 }
 
-func printCriticalPaths(w *os.File, traces []telemetry.TraceData, top int) {
+func printCriticalPaths(w io.Writer, traces []telemetry.TraceData, top int) {
 	sorted := append([]telemetry.TraceData(nil), traces...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].DurationSeconds > sorted[j].DurationSeconds })
 	if top > len(sorted) {
@@ -357,7 +396,7 @@ func printCriticalPaths(w *os.File, traces []telemetry.TraceData, top int) {
 	fmt.Fprintln(w)
 }
 
-func printFlame(w *os.File, paths []pathStat, limit int) {
+func printFlame(w io.Writer, paths []pathStat, limit int) {
 	fmt.Fprintln(w, "== self time by path ==")
 	if limit > len(paths) {
 		limit = len(paths)

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mlaasbench/internal/telemetry"
@@ -121,5 +125,122 @@ func TestJSONLRoundTripThroughAnalysis(t *testing.T) {
 	}
 	if merged := mergeFragments(back); len(merged) != 1 || merged[0].Spans != 4 {
 		t.Fatalf("merge after round trip wrong: %+v", merged)
+	}
+}
+
+// traceLine marshals one minimal-but-valid trace record to a JSONL line.
+func traceLine(t *testing.T, id string) string {
+	t.Helper()
+	td := telemetry.TraceData{
+		TraceID:         id,
+		DurationSeconds: 0.01,
+		Spans:           1,
+		Root: telemetry.SpanData{
+			SpanID: "s-" + id, Name: "predict", Path: "predict",
+			DurationSeconds: 0.01,
+			Attrs:           map[string]string{"platform": "local"},
+		},
+	}
+	b, err := json.Marshal(td)
+	if err != nil {
+		t.Fatalf("marshal trace: %v", err)
+	}
+	return string(b)
+}
+
+func writeInput(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunReportsTraces is the happy path: a well-formed JSONL export
+// produces the four report sections on stdout and exit 0.
+func TestRunReportsTraces(t *testing.T) {
+	path := writeInput(t, traceLine(t, "t1")+"\n"+traceLine(t, "t2")+"\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"2 traces", "== stages", "== platforms", "== critical path", "== self time"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunDiagnostics pins the failure-shape messages: each malformed input
+// must fail (exit 1) with a distinct, file-and-line-accurate diagnostic
+// rather than a bare "unexpected EOF" or a silently empty report.
+func TestRunDiagnostics(t *testing.T) {
+	valid := traceLine(t, "t1")
+	cases := []struct {
+		name    string
+		content string
+		want    []string
+	}{
+		{"empty file", "", []string{"empty input", "-trace-out"}},
+		{"whitespace only", "\n\n  \n", []string{"empty input"}},
+		{"truncated last record", valid + "\n" + valid[:len(valid)/2],
+			[]string{":2:", "truncated", "interrupted"}},
+		{"garbage mid-file", valid + "\n{not json}\n" + valid + "\n",
+			[]string{":2:", "bad trace JSONL"}},
+		{"json but not a trace", `{"foo": 1}` + "\n",
+			[]string{":1:", "no trace_id"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeInput(t, tc.content)
+			var out, errb bytes.Buffer
+			if code := run([]string{path}, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+			}
+			msg := errb.String()
+			if !strings.Contains(msg, path) {
+				t.Errorf("diagnostic does not name the file: %s", msg)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(msg, want) {
+					t.Errorf("diagnostic missing %q: %s", want, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestRunUsage: no input files is a usage error; a missing file is a
+// runtime error naming the path.
+func TestRunUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("bare run exits %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("no usage line: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}, &out, &errb); code != 1 {
+		t.Fatalf("missing file exits %d, want 1", code)
+	}
+}
+
+// TestTruncatedWithTrailingNewline: a bad line that is NOT the unterminated
+// final line reports as malformed, not truncated — the truncation hint is
+// reserved for the interrupted-export shape.
+func TestTruncatedWithTrailingNewline(t *testing.T) {
+	valid := traceLine(t, "t1")
+	path := writeInput(t, valid[:len(valid)/2]+"\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(errb.String(), "truncated") {
+		t.Errorf("newline-terminated bad line misreported as truncation: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "bad trace JSONL") {
+		t.Errorf("want malformed-line diagnostic: %s", errb.String())
 	}
 }

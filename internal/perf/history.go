@@ -64,12 +64,47 @@ func FilterKind(entries []Entry, kind string) []Entry {
 	return out
 }
 
-// LatestPair returns the newest and second-newest entries of a kind — the
-// default compare operands. ok is false with fewer than two.
+// SharesSeries reports whether the two records have at least one
+// (name, unit) series in common — the precondition for a meaningful
+// Compare.
+func SharesSeries(a, b *Record) bool {
+	for _, r := range b.Results {
+		if a.Result(r.Name, r.Unit) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Baseline returns the newest entry of kind that shares at least one
+// series with cand. The history legitimately interleaves suites — the
+// default kernel trio, targeted A/B records, loadgen sweeps — so the
+// right baseline is the newest *comparable* record, not merely the
+// newest one. ok is false when nothing comparable exists.
+func Baseline(entries []Entry, kind string, cand *Record) (Entry, bool) {
+	filtered := FilterKind(entries, kind)
+	for i := len(filtered) - 1; i >= 0; i-- {
+		if SharesSeries(filtered[i].Record, cand) {
+			return filtered[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// LatestPair returns the newest entry of a kind and its compare
+// baseline: the newest earlier entry sharing at least one series.
+// Entries from a disjoint suite sitting between two runs of the same
+// suite are skipped rather than producing a vacuous compare. ok is
+// false when no comparable pair exists.
 func LatestPair(entries []Entry, kind string) (prev, latest Entry, ok bool) {
 	filtered := FilterKind(entries, kind)
 	if len(filtered) < 2 {
 		return Entry{}, Entry{}, false
 	}
-	return filtered[len(filtered)-2], filtered[len(filtered)-1], true
+	latest = filtered[len(filtered)-1]
+	prev, ok = Baseline(filtered[:len(filtered)-1], kind, latest.Record)
+	if !ok {
+		return Entry{}, Entry{}, false
+	}
+	return prev, latest, true
 }

@@ -47,6 +47,44 @@ func TestHistoryRoundTripAndOrder(t *testing.T) {
 	}
 }
 
+// A targeted A/B record (disjoint series) committed between two runs of
+// the default suite must not become the compare baseline: both Baseline
+// and LatestPair skip back to the newest comparable record.
+func TestBaselineSkipsDisjointSuites(t *testing.T) {
+	dir := t.TempDir()
+	old := mkRecord("kernels-old", mkResult("BenchmarkA", "ns/op", 100))
+	old.Time = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ab := mkRecord("targeted-ab", mkResult("BenchmarkServePredict", "ns/op", 80000))
+	ab.Time = time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	newest := mkRecord("kernels-new", mkResult("BenchmarkA", "ns/op", 105))
+	newest.Time = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, rec := range []*Record{old, ab, newest} {
+		if _, err := rec.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cand := mkRecord("candidate", mkResult("BenchmarkA", "ns/op", 103))
+	base, ok := Baseline(entries, KindBench, cand)
+	if !ok || base.Record.Label != "kernels-new" {
+		t.Fatalf("Baseline = %v ok=%v, want kernels-new", base.Record, ok)
+	}
+	prev, latest, ok := LatestPair(entries, KindBench)
+	if !ok || prev.Record.Label != "kernels-old" || latest.Record.Label != "kernels-new" {
+		t.Fatalf("LatestPair = %v/%v ok=%v, want kernels-old/kernels-new", prev.Record, latest.Record, ok)
+	}
+
+	// A candidate sharing nothing with any record has no baseline.
+	alien := mkRecord("alien", mkResult("BenchmarkZ", "ns/op", 1))
+	if _, ok := Baseline(entries, KindBench, alien); ok {
+		t.Fatal("disjoint candidate must have no baseline")
+	}
+}
+
 func TestLoadHistoryMissingDirIsEmpty(t *testing.T) {
 	entries, err := LoadHistory(filepath.Join(t.TempDir(), "nope"))
 	if err != nil || entries != nil {

@@ -1,0 +1,458 @@
+// A stdlib-only parser for the pprof protobuf profile format
+// (github.com/google/pprof/proto/profile.proto), in the same spirit as
+// internal/codec and internal/wire: no generated code, no proto
+// dependency, just the handful of wire-format rules the format actually
+// uses. runtime/pprof writes gzipped proto; this reads exactly the fields
+// the hotspot report needs (sample types, samples, locations, functions,
+// string table, period and duration) and resolves them into symbolized
+// stacks.
+//
+// Proto wire format, as used here: a message is a sequence of
+// (tag<<3|wiretype) varint keys. Wire type 0 is a varint scalar, type 1 a
+// fixed 8-byte scalar, type 5 a fixed 4-byte scalar, type 2 a
+// length-delimited payload (nested message, string, or packed repeated
+// scalars). Repeated integer fields (Sample.location_id, Sample.value)
+// may arrive packed or one-per-key; both are handled.
+package profiling
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrMalformedProfile wraps every structural decode failure, so callers
+// can distinguish a corrupt profile from I/O errors.
+var ErrMalformedProfile = errors.New("malformed pprof profile")
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformedProfile, fmt.Sprintf(format, args...))
+}
+
+// ValueType names one sample dimension ("cpu"/"nanoseconds",
+// "inuse_space"/"bytes").
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one resolved stack sample: Stack is symbolized frames leaf
+// first (inline frames expanded, innermost first), Values holds one
+// measurement per Profile.SampleTypes entry.
+type Sample struct {
+	Stack  []string
+	Values []int64
+}
+
+// Profile is the resolved form of one parsed pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+	// DefaultSampleType names the sample dimension tools should show by
+	// default; empty means the convention (last sample type) applies.
+	DefaultSampleType string
+}
+
+// DefaultValueIndex picks the sample-value column a report should show:
+// the profile's declared default type when present, else the last column
+// (the pprof convention — cpu/nanoseconds for CPU profiles, inuse_space
+// for heap).
+func (p *Profile) DefaultValueIndex() int {
+	if p.DefaultSampleType != "" {
+		for i, st := range p.SampleTypes {
+			if st.Type == p.DefaultSampleType {
+				return i
+			}
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// ValueIndex resolves a sample-type name ("cpu", "inuse_space") to its
+// column, or -1 when the profile has no such dimension.
+func (p *Profile) ValueIndex(name string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParseProfile decodes a pprof profile (gzipped or raw proto bytes) into
+// its resolved form.
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, malformed("gzip header: %v", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, malformed("gunzip: %v", err)
+		}
+		data = raw
+	}
+	return parseProfileProto(data)
+}
+
+// ReadProfile is ParseProfile over a reader.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseProfile(data)
+}
+
+// rawLine is one (possibly inlined) frame of a location.
+type rawLine struct{ functionID uint64 }
+
+type rawLocation struct {
+	id      uint64
+	address uint64
+	lines   []rawLine
+}
+
+type rawFunction struct {
+	id   uint64
+	name int64 // string table index
+}
+
+type rawSample struct {
+	locationIDs []uint64
+	values      []int64
+}
+
+type rawValueType struct{ typ, unit int64 }
+
+// parseProfileProto decodes the uncompressed proto message.
+func parseProfileProto(data []byte) (*Profile, error) {
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		strtab      []string
+		prof        = &Profile{}
+		periodType  rawValueType
+		defaultST   int64
+	)
+	err := scanFields(data, func(tag int, wire int, scalar uint64, payload []byte) error {
+		switch tag {
+		case 1: // sample_type
+			vt, err := parseValueType(payload)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s, err := parseSample(payload)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			loc, err := parseLocation(payload)
+			if err != nil {
+				return err
+			}
+			locations = append(locations, loc)
+		case 5: // function
+			fn, err := parseFunction(payload)
+			if err != nil {
+				return err
+			}
+			functions = append(functions, fn)
+		case 6: // string_table
+			strtab = append(strtab, string(payload))
+		case 9:
+			prof.TimeNanos = int64(scalar)
+		case 10:
+			prof.DurationNanos = int64(scalar)
+		case 11:
+			vt, err := parseValueType(payload)
+			if err != nil {
+				return err
+			}
+			periodType = vt
+		case 12:
+			prof.Period = int64(scalar)
+		case 14:
+			defaultST = int64(scalar)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(strtab) == 0 {
+		return nil, malformed("empty string table")
+	}
+	str := func(idx int64) (string, error) {
+		if idx < 0 || idx >= int64(len(strtab)) {
+			return "", malformed("string index %d out of range (table has %d)", idx, len(strtab))
+		}
+		return strtab[idx], nil
+	}
+	for _, vt := range sampleTypes {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		prof.SampleTypes = append(prof.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if t, err := str(periodType.typ); err == nil {
+		u, _ := str(periodType.unit)
+		prof.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	if defaultST != 0 {
+		name, err := str(defaultST)
+		if err != nil {
+			return nil, err
+		}
+		prof.DefaultSampleType = name
+	}
+
+	fnName := make(map[uint64]string, len(functions))
+	for _, fn := range functions {
+		name, err := str(fn.name)
+		if err != nil {
+			return nil, err
+		}
+		fnName[fn.id] = name
+	}
+	// Resolve each location to its symbolized frames, innermost first:
+	// Line[0] is the deepest inlined call at that address.
+	locFrames := make(map[uint64][]string, len(locations))
+	for _, loc := range locations {
+		var frames []string
+		for _, ln := range loc.lines {
+			name, ok := fnName[ln.functionID]
+			if !ok || name == "" {
+				name = fmt.Sprintf("0x%x", loc.address)
+			}
+			frames = append(frames, name)
+		}
+		if len(frames) == 0 {
+			frames = []string{fmt.Sprintf("0x%x", loc.address)}
+		}
+		locFrames[loc.id] = frames
+	}
+	for _, s := range samples {
+		if len(s.values) != len(prof.SampleTypes) {
+			return nil, malformed("sample has %d values, profile declares %d sample types", len(s.values), len(prof.SampleTypes))
+		}
+		rs := Sample{Values: s.values}
+		for _, id := range s.locationIDs {
+			frames, ok := locFrames[id]
+			if !ok {
+				return nil, malformed("sample references unknown location %d", id)
+			}
+			rs.Stack = append(rs.Stack, frames...)
+		}
+		prof.Samples = append(prof.Samples, rs)
+	}
+	return prof, nil
+}
+
+// scanFields walks one message's fields. For wire type 2 the visitor gets
+// the payload; for scalar types it gets the value (fixed32/64 widened).
+func scanFields(data []byte, visit func(tag, wire int, scalar uint64, payload []byte) error) error {
+	for len(data) > 0 {
+		key, n := decodeVarint(data)
+		if n == 0 {
+			return malformed("truncated field key")
+		}
+		data = data[n:]
+		tag, wire := int(key>>3), int(key&7)
+		if tag == 0 {
+			return malformed("field tag 0")
+		}
+		switch wire {
+		case 0: // varint
+			v, n := decodeVarint(data)
+			if n == 0 {
+				return malformed("truncated varint for field %d", tag)
+			}
+			data = data[n:]
+			if err := visit(tag, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return malformed("truncated fixed64 for field %d", tag)
+			}
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v |= uint64(data[i]) << (8 * i)
+			}
+			data = data[8:]
+			if err := visit(tag, wire, v, nil); err != nil {
+				return err
+			}
+		case 2: // length-delimited
+			ln, n := decodeVarint(data)
+			if n == 0 {
+				return malformed("truncated length for field %d", tag)
+			}
+			data = data[n:]
+			if ln > uint64(len(data)) {
+				return malformed("field %d claims %d bytes, %d remain", tag, ln, len(data))
+			}
+			if err := visit(tag, wire, 0, data[:ln]); err != nil {
+				return err
+			}
+			data = data[ln:]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return malformed("truncated fixed32 for field %d", tag)
+			}
+			var v uint32
+			for i := 0; i < 4; i++ {
+				v |= uint32(data[i]) << (8 * i)
+			}
+			data = data[4:]
+			if err := visit(tag, wire, uint64(v), nil); err != nil {
+				return err
+			}
+		default:
+			return malformed("unsupported wire type %d for field %d", wire, tag)
+		}
+	}
+	return nil
+}
+
+// decodeVarint returns the value and encoded length (0 on truncation).
+func decodeVarint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// repeatedUint64 appends a possibly-packed repeated integer field.
+func repeatedUint64(out []uint64, wire int, scalar uint64, payload []byte) ([]uint64, error) {
+	if wire != 2 {
+		return append(out, scalar), nil
+	}
+	for len(payload) > 0 {
+		v, n := decodeVarint(payload)
+		if n == 0 {
+			return nil, malformed("truncated packed varint")
+		}
+		out = append(out, v)
+		payload = payload[n:]
+	}
+	return out, nil
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	var vt rawValueType
+	err := scanFields(data, func(tag, wire int, scalar uint64, payload []byte) error {
+		switch tag {
+		case 1:
+			vt.typ = int64(scalar)
+		case 2:
+			vt.unit = int64(scalar)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	err := scanFields(data, func(tag, wire int, scalar uint64, payload []byte) error {
+		var err error
+		switch tag {
+		case 1:
+			s.locationIDs, err = repeatedUint64(s.locationIDs, wire, scalar, payload)
+		case 2:
+			var vals []uint64
+			vals, err = repeatedUint64(nil, wire, scalar, payload)
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		}
+		return err
+	})
+	return s, err
+}
+
+func parseLocation(data []byte) (rawLocation, error) {
+	var loc rawLocation
+	err := scanFields(data, func(tag, wire int, scalar uint64, payload []byte) error {
+		switch tag {
+		case 1:
+			loc.id = scalar
+		case 3:
+			loc.address = scalar
+		case 4:
+			var ln rawLine
+			if err := scanFields(payload, func(t, w int, sc uint64, pl []byte) error {
+				if t == 1 {
+					ln.functionID = sc
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			loc.lines = append(loc.lines, ln)
+		}
+		return nil
+	})
+	return loc, err
+}
+
+func parseFunction(data []byte) (rawFunction, error) {
+	var fn rawFunction
+	err := scanFields(data, func(tag, wire int, scalar uint64, payload []byte) error {
+		switch tag {
+		case 1:
+			fn.id = scalar
+		case 2:
+			fn.name = int64(scalar)
+		}
+		return nil
+	})
+	return fn, err
+}
+
+// FormatValue renders a sample value in its unit's natural scale:
+// nanoseconds as seconds, bytes with a binary prefix, counts as-is.
+func FormatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.3gs", float64(v)/1e9)
+	case "bytes":
+		av := math.Abs(float64(v))
+		switch {
+		case av >= 1<<30:
+			return fmt.Sprintf("%.3gGiB", float64(v)/(1<<30))
+		case av >= 1<<20:
+			return fmt.Sprintf("%.3gMiB", float64(v)/(1<<20))
+		case av >= 1<<10:
+			return fmt.Sprintf("%.3gKiB", float64(v)/(1<<10))
+		}
+		return fmt.Sprintf("%dB", v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,253 @@
+package profiling
+
+import (
+	"bytes"
+	"errors"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// --- minimal proto encoder, so tests control every byte ---
+
+func pvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pint(b []byte, tag int, v uint64) []byte {
+	b = pvarint(b, uint64(tag)<<3|0) // wire type 0
+	return pvarint(b, v)
+}
+
+func pbytes(b []byte, tag int, blob []byte) []byte {
+	b = pvarint(b, uint64(tag)<<3|2) // wire type 2
+	b = pvarint(b, uint64(len(blob)))
+	return append(b, blob...)
+}
+
+func valueType(typ, unit uint64) []byte {
+	return pint(pint(nil, 1, typ), 2, unit)
+}
+
+// buildTestProfile encodes a two-column profile with two samples:
+//
+//	foo (leaf) <- bar : samples=10, cpu=100ns
+//	bar (leaf)        : samples=5,  cpu=50ns
+func buildTestProfile(packed bool) []byte {
+	// String table: index 0 must be "".
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "main.foo", "main.bar"}
+	var b []byte
+	b = pbytes(b, 1, valueType(1, 2)) // sample_type samples/count
+	b = pbytes(b, 1, valueType(3, 4)) // sample_type cpu/nanoseconds
+
+	encSample := func(locs []uint64, vals []uint64) []byte {
+		var s []byte
+		if packed {
+			var pl []byte
+			for _, l := range locs {
+				pl = pvarint(pl, l)
+			}
+			s = pbytes(s, 1, pl)
+			var pv []byte
+			for _, v := range vals {
+				pv = pvarint(pv, v)
+			}
+			s = pbytes(s, 2, pv)
+		} else {
+			for _, l := range locs {
+				s = pint(s, 1, l)
+			}
+			for _, v := range vals {
+				s = pint(s, 2, v)
+			}
+		}
+		return s
+	}
+	b = pbytes(b, 2, encSample([]uint64{1, 2}, []uint64{10, 100}))
+	b = pbytes(b, 2, encSample([]uint64{2}, []uint64{5, 50}))
+
+	line := func(fnID uint64) []byte { return pint(nil, 1, fnID) }
+	loc := func(id, addr, fnID uint64) []byte {
+		l := pint(nil, 1, id)
+		l = pint(l, 3, addr)
+		return pbytes(l, 4, line(fnID))
+	}
+	b = pbytes(b, 4, loc(1, 0x1000, 1))
+	b = pbytes(b, 4, loc(2, 0x2000, 2))
+
+	fn := func(id, name uint64) []byte { return pint(pint(nil, 1, id), 2, name) }
+	b = pbytes(b, 5, fn(1, 5)) // main.foo
+	b = pbytes(b, 5, fn(2, 6)) // main.bar
+
+	for _, s := range strs {
+		b = pbytes(b, 6, []byte(s))
+	}
+	b = pint(b, 9, 123)                // time_nanos
+	b = pint(b, 10, 456)               // duration_nanos
+	b = pbytes(b, 11, valueType(3, 4)) // period_type
+	b = pint(b, 12, 10000)             // period
+	b = pint(b, 14, 3)                 // default_sample_type = "cpu"
+	return b
+}
+
+func TestParseSyntheticProfile(t *testing.T) {
+	for _, packed := range []bool{true, false} {
+		p, err := ParseProfile(buildTestProfile(packed))
+		if err != nil {
+			t.Fatalf("packed=%v: %v", packed, err)
+		}
+		if len(p.SampleTypes) != 2 || p.SampleTypes[1] != (ValueType{"cpu", "nanoseconds"}) {
+			t.Fatalf("sample types: %+v", p.SampleTypes)
+		}
+		if p.TimeNanos != 123 || p.DurationNanos != 456 || p.Period != 10000 {
+			t.Fatalf("metadata: %+v", p)
+		}
+		if p.PeriodType != (ValueType{"cpu", "nanoseconds"}) {
+			t.Fatalf("period type: %+v", p.PeriodType)
+		}
+		if p.DefaultSampleType != "cpu" || p.DefaultValueIndex() != 1 {
+			t.Fatalf("default sample type %q idx %d", p.DefaultSampleType, p.DefaultValueIndex())
+		}
+		if len(p.Samples) != 2 {
+			t.Fatalf("samples: %+v", p.Samples)
+		}
+		s0 := p.Samples[0]
+		if len(s0.Stack) != 2 || s0.Stack[0] != "main.foo" || s0.Stack[1] != "main.bar" {
+			t.Fatalf("stack leaf-first broken: %+v", s0.Stack)
+		}
+		if s0.Values[0] != 10 || s0.Values[1] != 100 {
+			t.Fatalf("values: %+v", s0.Values)
+		}
+	}
+}
+
+func TestParseProfileMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"garbage":            {0xff, 0xff, 0xff, 0xff},
+		"truncated":          buildTestProfile(true)[:20],
+		"bad gzip":           {0x1f, 0x8b, 0x00},
+		"no string table":    pint(nil, 9, 1),
+		"bad string index":   pbytes(pbytes(nil, 6, nil), 1, valueType(99, 2)),
+		"unknown location":   append(pbytes(pbytes(nil, 6, nil), 1, nil), pbytes(nil, 2, pint(pint(nil, 1, 7), 2, 1))...),
+		"value count excess": append(buildTestProfile(true), pbytes(nil, 2, pint(nil, 2, 1))...),
+	}
+	for name, data := range cases {
+		if _, err := ParseProfile(data); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		} else if !errors.Is(err, ErrMalformedProfile) {
+			t.Errorf("%s: error %v does not wrap ErrMalformedProfile", name, err)
+		}
+	}
+}
+
+// Round-trip a real runtime/pprof profile (gzipped proto) through the
+// parser and check a known runtime symbol resolves.
+func TestParseRealGoroutineProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) == 0 || len(p.Samples) == 0 {
+		t.Fatalf("empty goroutine profile: %+v", p.SampleTypes)
+	}
+	found := false
+	for _, s := range p.Samples {
+		for _, sym := range s.Stack {
+			if strings.Contains(sym, "pprof") || strings.Contains(sym, "runtime") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no runtime symbols resolved in goroutine profile")
+	}
+}
+
+func TestAggregateFlatCum(t *testing.T) {
+	p, err := ParseProfile(buildTestProfile(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, total := Aggregate(p, 1) // cpu column
+	if total != 150 {
+		t.Fatalf("total = %d, want 150", total)
+	}
+	get := func(name string) SymbolValue {
+		for _, s := range syms {
+			if s.Symbol == name {
+				return s
+			}
+		}
+		t.Fatalf("symbol %s missing from %+v", name, syms)
+		return SymbolValue{}
+	}
+	// foo: leaf of sample 0 only -> flat 100, cum 100.
+	if s := get("main.foo"); s.Flat != 100 || s.Cum != 100 {
+		t.Fatalf("foo: %+v", s)
+	}
+	// bar: leaf of sample 1 (50 flat) and present in both stacks (150 cum).
+	if s := get("main.bar"); s.Flat != 50 || s.Cum != 150 {
+		t.Fatalf("bar: %+v", s)
+	}
+	// Sorted flat-descending.
+	if syms[0].Symbol != "main.foo" {
+		t.Fatalf("sort order: %+v", syms)
+	}
+}
+
+func TestDiffSurfacesNewSymbol(t *testing.T) {
+	a, _ := ParseProfile(buildTestProfile(true))
+	b, _ := ParseProfile(buildTestProfile(true))
+	// Double B's values by diffing A against itself first (sanity: zero).
+	deltas, err := Diff(a, b, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.FlatDiff != 0 || d.CumDiff != 0 {
+			t.Fatalf("identical profiles diff nonzero: %+v", d)
+		}
+	}
+	// Against an empty-sample profile, every B symbol diffs from zero.
+	empty := &Profile{SampleTypes: b.SampleTypes}
+	deltas, err = Diff(empty, b, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 || deltas[0].Symbol != "main.foo" || deltas[0].FlatDiff != 100 {
+		t.Fatalf("diff vs empty: %+v", deltas)
+	}
+	// Mismatched units refuse to diff.
+	bad := &Profile{SampleTypes: []ValueType{{"cpu", "milliseconds"}}}
+	if _, err := Diff(bad, b, "cpu"); err == nil {
+		t.Fatal("unit mismatch accepted")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    int64
+		unit string
+		want string
+	}{
+		{1500000000, "nanoseconds", "1.5s"},
+		{2048, "bytes", "2KiB"},
+		{3 << 20, "bytes", "3MiB"},
+		{512, "bytes", "512B"},
+		{42, "count", "42"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v, c.unit); got != c.want {
+			t.Errorf("FormatValue(%d, %s) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}

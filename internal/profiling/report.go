@@ -1,0 +1,203 @@
+// Hotspot aggregation over parsed profiles: flat/cum totals per symbol
+// (what `go tool pprof -top` shows) and symbol-level deltas between two
+// profiles (the before/after view every perf PR should ship).
+package profiling
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SymbolValue is one symbol's aggregate in a profile: Flat is the value
+// attributed to samples whose leaf frame is the symbol, Cum the value of
+// every sample the symbol appears anywhere in.
+type SymbolValue struct {
+	Symbol string
+	Flat   int64
+	Cum    int64
+}
+
+// Aggregate folds a profile's samples into per-symbol flat/cum totals for
+// the given value column, sorted by flat descending (cum breaks ties).
+// It also returns the profile's total value (the sum over all samples).
+func Aggregate(p *Profile, valueIdx int) (syms []SymbolValue, total int64) {
+	if valueIdx < 0 || len(p.SampleTypes) == 0 {
+		return nil, 0
+	}
+	type acc struct{ flat, cum int64 }
+	bysym := map[string]*acc{}
+	seen := map[string]bool{}
+	for _, s := range p.Samples {
+		if valueIdx >= len(s.Values) || len(s.Stack) == 0 {
+			continue
+		}
+		v := s.Values[valueIdx]
+		total += v
+		leaf := s.Stack[0]
+		a := bysym[leaf]
+		if a == nil {
+			a = &acc{}
+			bysym[leaf] = a
+		}
+		a.flat += v
+		// Each symbol counts once per sample toward cum, however many
+		// times recursion repeats it in the stack.
+		clear(seen)
+		for _, sym := range s.Stack {
+			if seen[sym] {
+				continue
+			}
+			seen[sym] = true
+			c := bysym[sym]
+			if c == nil {
+				c = &acc{}
+				bysym[sym] = c
+			}
+			c.cum += v
+		}
+	}
+	syms = make([]SymbolValue, 0, len(bysym))
+	for sym, a := range bysym {
+		syms = append(syms, SymbolValue{Symbol: sym, Flat: a.flat, Cum: a.cum})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Flat != syms[j].Flat {
+			return syms[i].Flat > syms[j].Flat
+		}
+		if syms[i].Cum != syms[j].Cum {
+			return syms[i].Cum > syms[j].Cum
+		}
+		return syms[i].Symbol < syms[j].Symbol
+	})
+	return syms, total
+}
+
+// SymbolDelta is one symbol's change between two profiles.
+type SymbolDelta struct {
+	Symbol   string
+	FlatA    int64
+	FlatB    int64
+	CumA     int64
+	CumB     int64
+	FlatDiff int64 // FlatB - FlatA
+	CumDiff  int64 // CumB - CumA
+}
+
+// Diff compares two profiles symbol-by-symbol for the named sample type
+// (empty = each profile's default column) and returns deltas sorted by
+// |flat delta| descending. Symbols present on only one side diff against
+// zero — a symbol that appears under load and not at idle surfaces with
+// its full weight.
+func Diff(a, b *Profile, sampleType string) ([]SymbolDelta, error) {
+	idxA, idxB := a.DefaultValueIndex(), b.DefaultValueIndex()
+	if sampleType != "" {
+		idxA, idxB = a.ValueIndex(sampleType), b.ValueIndex(sampleType)
+		if idxA < 0 || idxB < 0 {
+			return nil, fmt.Errorf("sample type %q not present in both profiles", sampleType)
+		}
+	}
+	if idxA >= 0 && idxB >= 0 && len(a.SampleTypes) > 0 && len(b.SampleTypes) > 0 {
+		ua, ub := a.SampleTypes[idxA].Unit, b.SampleTypes[idxB].Unit
+		if ua != ub {
+			return nil, fmt.Errorf("profiles disagree on units (%s vs %s); diff would be meaningless", ua, ub)
+		}
+	}
+	symsA, _ := Aggregate(a, idxA)
+	symsB, _ := Aggregate(b, idxB)
+	merged := map[string]*SymbolDelta{}
+	for _, s := range symsA {
+		merged[s.Symbol] = &SymbolDelta{Symbol: s.Symbol, FlatA: s.Flat, CumA: s.Cum}
+	}
+	for _, s := range symsB {
+		d := merged[s.Symbol]
+		if d == nil {
+			d = &SymbolDelta{Symbol: s.Symbol}
+			merged[s.Symbol] = d
+		}
+		d.FlatB, d.CumB = s.Flat, s.Cum
+	}
+	out := make([]SymbolDelta, 0, len(merged))
+	for _, d := range merged {
+		d.FlatDiff = d.FlatB - d.FlatA
+		d.CumDiff = d.CumB - d.CumA
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs64(out[i].FlatDiff), abs64(out[j].FlatDiff)
+		if ai != aj {
+			return ai > aj
+		}
+		ci, cj := abs64(out[i].CumDiff), abs64(out[j].CumDiff)
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].Symbol < out[j].Symbol
+	})
+	return out, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteTop renders the top-n flat/cum table for one profile's value
+// column, go-tool-pprof style.
+func WriteTop(w io.Writer, p *Profile, valueIdx, n int) {
+	if valueIdx < 0 || valueIdx >= len(p.SampleTypes) {
+		valueIdx = p.DefaultValueIndex()
+	}
+	if valueIdx < 0 {
+		fmt.Fprintln(w, "(profile has no sample types)")
+		return
+	}
+	st := p.SampleTypes[valueIdx]
+	syms, total := Aggregate(p, valueIdx)
+	fmt.Fprintf(w, "sample type %s/%s, total %s", st.Type, st.Unit, FormatValue(total, st.Unit))
+	if p.DurationNanos > 0 {
+		fmt.Fprintf(w, " over %s", FormatValue(p.DurationNanos, "nanoseconds"))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%12s %7s %12s %7s  %s\n", "flat", "flat%", "cum", "cum%", "symbol")
+	for i, s := range syms {
+		if n > 0 && i >= n {
+			fmt.Fprintf(w, "  ... %d more symbols\n", len(syms)-n)
+			break
+		}
+		fmt.Fprintf(w, "%12s %6.1f%% %12s %6.1f%%  %s\n",
+			FormatValue(s.Flat, st.Unit), pct(s.Flat, total),
+			FormatValue(s.Cum, st.Unit), pct(s.Cum, total), s.Symbol)
+	}
+}
+
+// WriteDiff renders the top-n symbol deltas between two profiles.
+func WriteDiff(w io.Writer, deltas []SymbolDelta, unit string, n int) {
+	fmt.Fprintf(w, "%12s %12s %12s %12s  %s\n", "flat A", "flat B", "Δflat", "Δcum", "symbol")
+	for i, d := range deltas {
+		if n > 0 && i >= n {
+			fmt.Fprintf(w, "  ... %d more symbols\n", len(deltas)-n)
+			break
+		}
+		fmt.Fprintf(w, "%12s %12s %12s %12s  %s\n",
+			FormatValue(d.FlatA, unit), FormatValue(d.FlatB, unit),
+			signedValue(d.FlatDiff, unit), signedValue(d.CumDiff, unit), d.Symbol)
+	}
+}
+
+// signedValue is FormatValue with an explicit sign, for delta columns.
+func signedValue(v int64, unit string) string {
+	if v > 0 {
+		return "+" + FormatValue(v, unit)
+	}
+	return FormatValue(v, unit)
+}
+
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}

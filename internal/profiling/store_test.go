@@ -1,0 +1,177 @@
+package profiling
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/telemetry"
+)
+
+func TestStoreRingPrunesOldest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{
+		Dir:           t.TempDir(),
+		MaxBundles:    3,
+		CPUDuration:   10 * time.Millisecond,
+		Registry:      reg,
+		TraceSource:   func() []telemetry.TraceSummary { return nil },
+		MutexFraction: -1,
+		BlockRateNs:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.CaptureNow("ring", ReasonManual, nil); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	metas, err := p.Store().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 3 {
+		t.Fatalf("ring holds %d bundles, want 3", len(metas))
+	}
+	// The survivors are the newest three (ids are time-sortable and List
+	// returns oldest first).
+	for i := 1; i < len(metas); i++ {
+		if metas[i].ID <= metas[i-1].ID {
+			t.Fatalf("bundles out of order: %s then %s", metas[i-1].ID, metas[i].ID)
+		}
+	}
+	if n := reg.Counter(telemetry.ProfilingDroppedTotal, "reason", "evict").Value(); n != 2 {
+		t.Fatalf("evict drops = %d, want 2", n)
+	}
+	if n := reg.Counter(telemetry.ProfilingCapturesTotal, "reason", ReasonManual).Value(); n != 5 {
+		t.Fatalf("captures = %d, want 5", n)
+	}
+}
+
+func TestStoreRejectsTraversal(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "..", "../x", "a/b", `a\b`, ".hidden"} {
+		if _, err := st.Get(id); err == nil {
+			t.Fatalf("Get(%q) accepted a traversal id", id)
+		}
+		if _, err := st.ProfilePath(id, "cpu"); err == nil {
+			t.Fatalf("ProfilePath(%q) accepted a traversal id", id)
+		}
+	}
+}
+
+func TestCaptureSidecarContents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	traces := []telemetry.TraceSummary{
+		{TraceID: "t-slow", Name: "predict", DurationSeconds: 1.5},
+		{TraceID: "t-fast", Name: "predict", DurationSeconds: 0.1},
+		{TraceID: "t-mid", Name: "predict", DurationSeconds: 0.7, Error: "boom"},
+	}
+	p, err := New(Config{
+		Dir:           t.TempDir(),
+		CPUDuration:   10 * time.Millisecond,
+		Registry:      reg,
+		TraceSource:   func() []telemetry.TraceSummary { return append([]telemetry.TraceSummary(nil), traces...) },
+		MaxTraceRefs:  2,
+		MutexFraction: -1,
+		BlockRateNs:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSLOSource(func() []SLOStatus {
+		return []SLOStatus{{Name: "predict-p99", LatencyBurnRate: 2.5, Breached: true}}
+	})
+	meta, err := p.CaptureNow("unit test!", ReasonTrigger, map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if meta.Schema != MetaSchemaVersion || meta.Reason != ReasonTrigger {
+		t.Fatalf("bad schema/reason: %+v", meta)
+	}
+	if !strings.Contains(meta.ID, "unit_test_") {
+		t.Fatalf("tag not sanitized into id: %q", meta.ID)
+	}
+	if meta.Env.GoVersion == "" || meta.Env.NumCPU == 0 {
+		t.Fatalf("env fingerprint missing: %+v", meta.Env)
+	}
+	if meta.Health.Goroutines == 0 || meta.Health.GOMAXPROCS == 0 {
+		t.Fatalf("health snapshot missing: %+v", meta.Health)
+	}
+	// Slowest two traces, slowest first.
+	if len(meta.SlowTraces) != 2 || meta.SlowTraces[0].TraceID != "t-slow" || meta.SlowTraces[1].TraceID != "t-mid" {
+		t.Fatalf("slow traces wrong: %+v", meta.SlowTraces)
+	}
+	if meta.SlowTraces[1].Error != "boom" {
+		t.Fatalf("trace error lost: %+v", meta.SlowTraces[1])
+	}
+	if len(meta.SLO) != 1 || !meta.SLO[0].Breached {
+		t.Fatalf("SLO state missing: %+v", meta.SLO)
+	}
+	if meta.Attrs["k"] != "v" {
+		t.Fatalf("attrs lost: %+v", meta.Attrs)
+	}
+
+	// Round-trip through the store and parse every recorded profile.
+	got, err := p.Store().Get(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) == 0 {
+		t.Fatal("no profiles recorded")
+	}
+	for kind := range got.Profiles {
+		prof, err := p.Store().Profile(meta.ID, kind)
+		if err != nil {
+			t.Fatalf("parse %s: %v", kind, err)
+		}
+		if len(prof.SampleTypes) == 0 {
+			t.Fatalf("%s profile has no sample types", kind)
+		}
+	}
+	// Heap/goroutine must always be present; cpu may be skipped only when
+	// another CPU profile was running (not the case here).
+	for _, kind := range []string{"cpu", "heap", "goroutine"} {
+		if _, ok := got.Profiles[kind]; !ok {
+			t.Fatalf("bundle missing %s profile: %+v", kind, got.Profiles)
+		}
+	}
+}
+
+func TestCaptureBusyDrop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{
+		Dir:           t.TempDir(),
+		CPUDuration:   200 * time.Millisecond,
+		Registry:      reg,
+		TraceSource:   func() []telemetry.TraceSummary { return nil },
+		MutexFraction: -1,
+		BlockRateNs:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.CaptureNow("long", ReasonManual, nil)
+		done <- err
+	}()
+	// Wait until the first capture holds the flag, then collide with it.
+	for !p.capturing.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.CaptureNow("collide", ReasonManual, nil); err == nil {
+		t.Fatal("concurrent capture did not fail busy")
+	}
+	if n := reg.Counter(telemetry.ProfilingDroppedTotal, "reason", "busy").Value(); n != 1 {
+		t.Fatalf("busy drops = %d, want 1", n)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first capture: %v", err)
+	}
+}

@@ -1,0 +1,344 @@
+// The SLO watchdog: evaluates rolling-window burn rates over the route
+// latency/error metrics the HTTP layer already records, plus the
+// admission queue depth gauge, and turns a breach into an immediate
+// tagged profile capture. Burn-rate semantics follow the SRE playbook:
+// with target t the error budget is 1-t; the burn rate is the fraction
+// of the window's requests that were bad divided by the budget, so 1.0
+// means "consuming budget exactly as fast as the SLO allows" and the
+// watchdog fires when a rate exceeds its configured MaxBurn.
+package profiling
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mlaasbench/internal/telemetry"
+)
+
+// SLO declares one objective over a route's existing metrics.
+type SLO struct {
+	// Name labels the SLO in metrics, sidecars and bundle tags.
+	Name string
+	// Route is the route label on mlaas_http_request_duration_seconds /
+	// mlaas_http_requests_total ("predict", "train", ...).
+	Route string
+
+	// LatencyObjective is the per-request latency bound in seconds; a
+	// request slower than this spends error budget. For exact accounting
+	// it should sit on a latency-bucket boundary — between buckets the
+	// watchdog rounds the bound down (conservative: over-counts bad).
+	// <=0 disables the latency dimension.
+	LatencyObjective float64
+	// LatencyTarget is the fraction of requests that must meet the
+	// objective (0.99 = "99% under the bound"; budget 0.01).
+	LatencyTarget float64
+
+	// ErrorTarget is the fraction of requests that must not be 5xx
+	// (0.999 = budget 0.001). <=0 disables the error dimension.
+	ErrorTarget float64
+
+	// MaxBurn is the burn rate that counts as a breach, exceeded
+	// strictly — burning the budget at exactly the allowed rate is
+	// compliant. <=0 means 1.
+	MaxBurn float64
+
+	// MaxQueueDepth breaches when the route's admission queue gauge
+	// exceeds it (strictly). <=0 disables the queue dimension.
+	MaxQueueDepth int64
+
+	// Window is the rolling evaluation window (<=0 means 1m).
+	Window time.Duration
+	// Cooldown is the minimum gap between triggered captures for this
+	// SLO (<=0 means Window). Breach *transitions* still count in
+	// mlaas_slo_breaches_total during cooldown; only the capture is
+	// suppressed (dropped reason "cooldown").
+	Cooldown time.Duration
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.MaxBurn <= 0 {
+		s.MaxBurn = 1
+	}
+	if s.Window <= 0 {
+		s.Window = time.Minute
+	}
+	if s.Cooldown <= 0 {
+		s.Cooldown = s.Window
+	}
+	if s.Route == "" {
+		s.Route = "predict"
+	}
+	if s.Name == "" {
+		s.Name = s.Route
+	}
+	return s
+}
+
+// burnSample is one snapshot of a cumulative (total, bad) counter pair.
+type burnSample struct {
+	at         time.Time
+	total, bad uint64
+}
+
+// burnWindow holds rolling-window snapshots of cumulative counters and
+// computes the burn rate from the newest-vs-baseline delta. It is pure —
+// no clocks, no registry — so the window arithmetic is testable in
+// isolation. Not safe for concurrent use; the watchdog owns it.
+type burnWindow struct {
+	window  time.Duration
+	samples []burnSample // oldest (the baseline) first
+}
+
+// observe appends a snapshot and slides the window. A cumulative counter
+// can only ever grow; a shrink means the counter (or the process behind
+// it) reset, and every older sample describes a different life — the
+// window restarts from the new snapshot alone.
+func (w *burnWindow) observe(at time.Time, total, bad uint64) {
+	if n := len(w.samples); n > 0 {
+		last := w.samples[n-1]
+		if total < last.total || bad < last.bad {
+			w.samples = w.samples[:0]
+		}
+	}
+	w.samples = append(w.samples, burnSample{at: at, total: total, bad: bad})
+	// Slide: drop leading samples, but keep the newest sample at or
+	// before the window start as the baseline — deltas then cover at
+	// least the full window rather than a fragment of it.
+	cutoff := at.Add(-w.window)
+	for len(w.samples) >= 2 && !w.samples[1].at.After(cutoff) {
+		w.samples = w.samples[1:]
+	}
+}
+
+// burn returns the window's burn rate for the given error budget. ok is
+// false when the window cannot say anything yet: fewer than two samples
+// (an empty window or a single observation has no delta) or no traffic
+// between baseline and newest.
+func (w *burnWindow) burn(budget float64) (rate float64, ok bool) {
+	if len(w.samples) < 2 {
+		return 0, false
+	}
+	first, last := w.samples[0], w.samples[len(w.samples)-1]
+	dTotal := last.total - first.total
+	if dTotal == 0 {
+		return 0, false
+	}
+	dBad := last.bad - first.bad
+	badFrac := float64(dBad) / float64(dTotal)
+	if budget <= 0 {
+		// A zero budget means "nothing may be bad": any badness burns
+		// infinitely fast, perfect compliance burns nothing.
+		if badFrac > 0 {
+			return math.Inf(1), true
+		}
+		return 0, true
+	}
+	return badFrac / budget, true
+}
+
+// sloState is one SLO's windows plus its edge/cooldown bookkeeping.
+type sloState struct {
+	slo         SLO
+	lat, errs   burnWindow
+	breached    bool // previous tick's verdict, for edge-triggered counting
+	lastCapture time.Time
+	status      SLOStatus
+}
+
+// WatchdogConfig wires a Watchdog to a registry.
+type WatchdogConfig struct {
+	// Registry is read for the route metrics and written for the burn
+	// gauges and breach counters; nil means telemetry.Default().
+	Registry *telemetry.Registry
+	// SLOs are the objectives to evaluate (at least one required).
+	SLOs []SLO
+	// Interval is the evaluation tick (<=0 means 5s).
+	Interval time.Duration
+	// OnBreach, when set, observes every breach transition after the
+	// gauges update (Watch points it at a profiler capture).
+	OnBreach func(slo SLO, status SLOStatus)
+}
+
+// Watchdog evaluates SLOs on a tick and fires OnBreach on healthy ->
+// breached transitions. Safe for concurrent use.
+type Watchdog struct {
+	reg      *telemetry.Registry
+	interval time.Duration
+	onBreach func(slo SLO, status SLOStatus)
+
+	mu     sync.Mutex
+	states []*sloState
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewWatchdog builds a watchdog; it evaluates nothing until Start (or an
+// explicit tick from tests).
+func NewWatchdog(cfg WatchdogConfig) (*Watchdog, error) {
+	if len(cfg.SLOs) == 0 {
+		return nil, fmt.Errorf("profiling: watchdog needs at least one SLO")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	w := &Watchdog{reg: cfg.Registry, interval: cfg.Interval, onBreach: cfg.OnBreach}
+	for _, s := range cfg.SLOs {
+		s = s.withDefaults()
+		w.states = append(w.states, &sloState{
+			slo:  s,
+			lat:  burnWindow{window: s.Window},
+			errs: burnWindow{window: s.Window},
+		})
+	}
+	return w, nil
+}
+
+// Watch wires the watchdog and a profiler together: breaches trigger a
+// tagged capture (subject to the per-SLO cooldown) and every bundle
+// sidecar records the current SLO state.
+func (w *Watchdog) Watch(p *Profiler) {
+	p.SetSLOSource(w.Status)
+	w.onBreach = func(slo SLO, status SLOStatus) {
+		attrs := map[string]string{
+			"slo":               slo.Name,
+			"route":             slo.Route,
+			"latency_burn_rate": fmt.Sprintf("%.3f", status.LatencyBurnRate),
+			"error_burn_rate":   fmt.Sprintf("%.3f", status.ErrorBurnRate),
+			"queue_depth":       fmt.Sprintf("%d", status.QueueDepth),
+		}
+		w.reg.Counter(telemetry.ProfilingTriggersTotal, "slo", slo.Name).Inc()
+		// Captures block for the CPU window; run them off the tick loop
+		// so evaluation cadence holds. The profiler's own busy-drop
+		// bounds concurrency.
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			_, _ = p.CaptureNow("slo-"+slo.Name, ReasonTrigger, attrs)
+		}()
+	}
+}
+
+// Start begins the evaluation loop. Idempotent until Stop.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done != nil {
+		return
+	}
+	w.done = make(chan struct{})
+	done := w.done
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		ticker := time.NewTicker(w.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				w.Tick(time.Now())
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for in-flight triggered captures.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	if w.done == nil {
+		w.mu.Unlock()
+		return
+	}
+	close(w.done)
+	w.done = nil
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+// Status returns every SLO's most recent evaluation (zero values before
+// the first tick).
+func (w *Watchdog) Status() []SLOStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SLOStatus, len(w.states))
+	for i, st := range w.states {
+		out[i] = st.status
+	}
+	return out
+}
+
+// Tick snapshots the registry and evaluates every SLO once. Exported so
+// tests (and the loop) drive it with an explicit clock.
+func (w *Watchdog) Tick(now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, st := range w.states {
+		w.evalLocked(st, now)
+	}
+}
+
+// evalLocked updates one SLO's windows from the registry, exports the
+// gauges, and fires the breach edge.
+func (w *Watchdog) evalLocked(st *sloState, now time.Time) {
+	slo := st.slo
+	status := SLOStatus{Name: slo.Name}
+
+	if slo.LatencyObjective > 0 {
+		h := w.reg.Histogram("mlaas_http_request_duration_seconds", "route", slo.Route)
+		total := h.Count()
+		good := h.CumulativeBelow(slo.LatencyObjective)
+		st.lat.observe(now, total, total-good)
+		if rate, ok := st.lat.burn(1 - slo.LatencyTarget); ok {
+			status.LatencyBurnRate = rate
+		}
+	}
+	if slo.ErrorTarget > 0 {
+		total := uint64(w.reg.SumCounters("mlaas_http_requests_total", "route", slo.Route))
+		bad := uint64(w.reg.SumCounters("mlaas_http_requests_total", "route", slo.Route, "class", "5xx"))
+		st.errs.observe(now, total, bad)
+		if rate, ok := st.errs.burn(1 - slo.ErrorTarget); ok {
+			status.ErrorBurnRate = rate
+		}
+	}
+	status.QueueDepth = w.reg.Gauge(telemetry.AdmissionQueueDepth, "route", slo.Route).Value()
+
+	status.Breached = status.LatencyBurnRate > slo.MaxBurn ||
+		status.ErrorBurnRate > slo.MaxBurn ||
+		(slo.MaxQueueDepth > 0 && status.QueueDepth > slo.MaxQueueDepth)
+
+	w.reg.Gauge(telemetry.SLOBurnRateMilli, "slo", slo.Name, "kind", "latency").Set(burnMilli(status.LatencyBurnRate))
+	w.reg.Gauge(telemetry.SLOBurnRateMilli, "slo", slo.Name, "kind", "errors").Set(burnMilli(status.ErrorBurnRate))
+
+	wasBreached := st.breached
+	st.breached = status.Breached
+	st.status = status
+	if status.Breached && !wasBreached {
+		w.reg.Counter(telemetry.SLOBreachesTotal, "slo", slo.Name).Inc()
+		if w.onBreach != nil {
+			if now.Sub(st.lastCapture) < slo.Cooldown {
+				w.reg.Counter(telemetry.ProfilingDroppedTotal, "reason", "cooldown").Inc()
+			} else {
+				st.lastCapture = now
+				w.onBreach(slo, status)
+			}
+		}
+	}
+}
+
+// burnMilli scales a burn rate onto the integral milli gauge, clamping
+// the infinities a zero budget can produce.
+func burnMilli(rate float64) int64 {
+	if math.IsInf(rate, 1) || rate > math.MaxInt64/2000 {
+		return math.MaxInt64
+	}
+	if rate < 0 {
+		return 0
+	}
+	return int64(rate * 1000)
+}

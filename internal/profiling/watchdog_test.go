@@ -1,0 +1,268 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mlaasbench/internal/telemetry"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// An empty window and a single observation both lack a delta; neither may
+// report a burn rate.
+func TestBurnWindowNeedsTwoSamples(t *testing.T) {
+	w := burnWindow{window: time.Minute}
+	if rate, ok := w.burn(0.01); ok || rate != 0 {
+		t.Fatalf("empty window: got (%v, %v), want (0, false)", rate, ok)
+	}
+	w.observe(t0, 100, 5)
+	if rate, ok := w.burn(0.01); ok || rate != 0 {
+		t.Fatalf("single observation: got (%v, %v), want (0, false)", rate, ok)
+	}
+	// Two samples but zero traffic between them: still nothing to say.
+	w.observe(t0.Add(5*time.Second), 100, 5)
+	if rate, ok := w.burn(0.01); ok || rate != 0 {
+		t.Fatalf("no traffic: got (%v, %v), want (0, false)", rate, ok)
+	}
+}
+
+// A bad-request fraction exactly equal to the budget burns at exactly 1.0
+// — compliant, not a breach, because breaches are strictly greater than
+// MaxBurn.
+func TestBurnWindowBoundaryExactlyAtTarget(t *testing.T) {
+	w := burnWindow{window: time.Minute}
+	w.observe(t0, 0, 0)
+	// 1000 requests, 10 bad, budget 0.01 (99% target): burn == 1.0.
+	w.observe(t0.Add(10*time.Second), 1000, 10)
+	rate, ok := w.burn(0.01)
+	if !ok {
+		t.Fatal("expected a burn rate with two samples and traffic")
+	}
+	if math.Abs(rate-1.0) > 1e-12 {
+		t.Fatalf("burn = %v, want exactly 1.0", rate)
+	}
+	if rate > 1.0 {
+		t.Fatalf("burn %v must not exceed MaxBurn 1.0 at the boundary", rate)
+	}
+	// One more bad request tips it strictly over.
+	w.observe(t0.Add(20*time.Second), 2000, 21)
+	rate, ok = w.burn(0.01)
+	if !ok || rate <= 1.0 {
+		t.Fatalf("burn = %v after extra bad request, want > 1.0", rate)
+	}
+}
+
+// A cumulative counter that shrinks means the process (or registry)
+// behind it reset; mixing lives would produce huge negative deltas cast
+// to garbage, so the window must restart from the new snapshot.
+func TestBurnWindowCounterReset(t *testing.T) {
+	w := burnWindow{window: time.Minute}
+	w.observe(t0, 1000, 100)
+	w.observe(t0.Add(5*time.Second), 2000, 200)
+	// Reset: totals fall back near zero.
+	w.observe(t0.Add(10*time.Second), 50, 0)
+	if rate, ok := w.burn(0.01); ok || rate != 0 {
+		t.Fatalf("after reset: got (%v, %v), want (0, false) until a fresh delta exists", rate, ok)
+	}
+	// The window rebuilds from the post-reset baseline only.
+	w.observe(t0.Add(15*time.Second), 150, 1)
+	rate, ok := w.burn(0.01)
+	if !ok {
+		t.Fatal("expected a burn rate from the post-reset samples")
+	}
+	if want := (1.0 / 100.0) / 0.01; math.Abs(rate-want) > 1e-12 {
+		t.Fatalf("burn = %v, want %v from post-reset delta only", rate, want)
+	}
+}
+
+// Sliding must keep one sample at/before the window start as baseline so
+// the delta spans the whole window, and must drop older history so stale
+// badness ages out.
+func TestBurnWindowSlides(t *testing.T) {
+	w := burnWindow{window: 10 * time.Second}
+	// A burst of badness, then a long healthy stretch.
+	w.observe(t0, 0, 0)
+	w.observe(t0.Add(1*time.Second), 100, 100) // 100% bad burst
+	for i := 2; i <= 30; i++ {
+		w.observe(t0.Add(time.Duration(i)*time.Second), uint64(100+100*(i-1)), 100)
+	}
+	rate, ok := w.burn(0.01)
+	if !ok {
+		t.Fatal("expected a burn rate")
+	}
+	// The burst is >10s old: the window's delta must contain zero bad.
+	if rate != 0 {
+		t.Fatalf("burn = %v, want 0 once the burst aged out of the window", rate)
+	}
+	if len(w.samples) > 12 {
+		t.Fatalf("window retains %d samples, want ~window/tick", len(w.samples))
+	}
+}
+
+func TestBurnWindowZeroBudget(t *testing.T) {
+	w := burnWindow{window: time.Minute}
+	w.observe(t0, 0, 0)
+	w.observe(t0.Add(time.Second), 100, 0)
+	if rate, ok := w.burn(0); !ok || rate != 0 {
+		t.Fatalf("zero budget, zero bad: got (%v, %v), want (0, true)", rate, ok)
+	}
+	w.observe(t0.Add(2*time.Second), 200, 1)
+	if rate, ok := w.burn(0); !ok || !math.IsInf(rate, 1) {
+		t.Fatalf("zero budget, bad traffic: got (%v, %v), want (+Inf, true)", rate, ok)
+	}
+}
+
+// Tick-level test against a real registry: breach detection is
+// edge-triggered, burn gauges export in milli units, and the cooldown
+// suppresses the capture but not the breach count.
+func TestWatchdogTick(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	slo := SLO{
+		Name:             "predict-p99",
+		Route:            "predict",
+		LatencyObjective: 0.05,
+		LatencyTarget:    0.99,
+		ErrorTarget:      0.999,
+		MaxBurn:          1,
+		Window:           time.Minute,
+		Cooldown:         time.Hour, // every later breach lands in cooldown
+	}
+	var fired int
+	w, err := NewWatchdog(WatchdogConfig{
+		Registry: reg,
+		SLOs:     []SLO{slo},
+		OnBreach: func(SLO, SLOStatus) { fired++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lat := reg.Histogram("mlaas_http_request_duration_seconds", "route", "predict")
+	good := func(n int) {
+		for i := 0; i < n; i++ {
+			lat.Observe(0.002)
+			reg.Counter("mlaas_http_requests_total", "route", "predict", "platform", "", "class", "2xx").Inc()
+		}
+	}
+	slow := func(n int) {
+		for i := 0; i < n; i++ {
+			lat.Observe(0.5)
+			reg.Counter("mlaas_http_requests_total", "route", "predict", "platform", "", "class", "2xx").Inc()
+		}
+	}
+
+	w.Tick(t0) // baseline
+	good(100)
+	w.Tick(t0.Add(5 * time.Second))
+	st := w.Status()[0]
+	if st.Breached || st.LatencyBurnRate != 0 {
+		t.Fatalf("healthy traffic flagged: %+v", st)
+	}
+	if n := reg.Counter(telemetry.SLOBreachesTotal, "slo", "predict-p99").Value(); n != 0 {
+		t.Fatalf("breaches = %d, want 0", n)
+	}
+
+	// 50 of the next 100 requests blow the latency objective: bad
+	// fraction far beyond the 1% budget.
+	slow(50)
+	good(50)
+	w.Tick(t0.Add(10 * time.Second))
+	st = w.Status()[0]
+	if !st.Breached {
+		t.Fatalf("expected breach, got %+v", st)
+	}
+	if st.LatencyBurnRate <= 1 {
+		t.Fatalf("latency burn = %v, want > 1", st.LatencyBurnRate)
+	}
+	if fired != 1 {
+		t.Fatalf("OnBreach fired %d times, want 1", fired)
+	}
+	if n := reg.Counter(telemetry.SLOBreachesTotal, "slo", "predict-p99").Value(); n != 1 {
+		t.Fatalf("breaches = %d, want 1", n)
+	}
+	g := reg.Gauge(telemetry.SLOBurnRateMilli, "slo", "predict-p99", "kind", "latency").Value()
+	if g < 1000 {
+		t.Fatalf("milli gauge = %d, want >= 1000 during breach", g)
+	}
+
+	// Still breached next tick: no new edge, no new fire.
+	slow(10)
+	w.Tick(t0.Add(15 * time.Second))
+	if n := reg.Counter(telemetry.SLOBreachesTotal, "slo", "predict-p99").Value(); n != 1 {
+		t.Fatalf("sustained breach recounted: %d", n)
+	}
+	if fired != 1 {
+		t.Fatalf("OnBreach re-fired on sustained breach: %d", fired)
+	}
+
+	// Recover (healthy traffic until the slow burst ages out), then
+	// breach again inside the cooldown: the edge counts, the capture is
+	// dropped as cooldown.
+	for i := 1; i <= 14; i++ {
+		good(500)
+		w.Tick(t0.Add(15*time.Second + time.Duration(i)*5*time.Second))
+	}
+	st = w.Status()[0]
+	if st.Breached {
+		t.Fatalf("expected recovery, got %+v", st)
+	}
+	slow(200)
+	w.Tick(t0.Add(95 * time.Second))
+	st = w.Status()[0]
+	if !st.Breached {
+		t.Fatalf("expected second breach, got %+v", st)
+	}
+	if n := reg.Counter(telemetry.SLOBreachesTotal, "slo", "predict-p99").Value(); n != 2 {
+		t.Fatalf("breaches = %d, want 2", n)
+	}
+	if fired != 1 {
+		t.Fatalf("OnBreach fired %d times, want 1 (second breach is in cooldown)", fired)
+	}
+	if n := reg.Counter(telemetry.ProfilingDroppedTotal, "reason", "cooldown").Value(); n != 1 {
+		t.Fatalf("cooldown drops = %d, want 1", n)
+	}
+}
+
+// Queue-depth breaches need no window history — the gauge is
+// instantaneous.
+func TestWatchdogQueueDepthBreach(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w, err := NewWatchdog(WatchdogConfig{
+		Registry: reg,
+		SLOs:     []SLO{{Name: "q", Route: "predict", MaxQueueDepth: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict").Set(8)
+	w.Tick(t0)
+	if st := w.Status()[0]; st.Breached {
+		t.Fatalf("depth exactly at bound must not breach: %+v", st)
+	}
+	reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict").Set(9)
+	w.Tick(t0.Add(time.Second))
+	if st := w.Status()[0]; !st.Breached {
+		t.Fatalf("depth beyond bound must breach: %+v", st)
+	}
+}
+
+func TestWatchdogStartStopIdempotent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w, err := NewWatchdog(WatchdogConfig{
+		Registry: reg,
+		SLOs:     []SLO{{Name: "x", Route: "predict", LatencyObjective: 0.05, LatencyTarget: 0.99}},
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	w.Start()
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+	w.Stop()
+	w.Start()
+	w.Stop()
+}

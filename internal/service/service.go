@@ -43,6 +43,7 @@ import (
 	"mlaasbench/internal/dataset"
 	"mlaasbench/internal/pipeline"
 	"mlaasbench/internal/platforms"
+	"mlaasbench/internal/profiling"
 	"mlaasbench/internal/store"
 	"mlaasbench/internal/telemetry"
 	"mlaasbench/internal/wire"
@@ -67,6 +68,9 @@ type Server struct {
 	// admit, when non-nil, gates the predict route behind a bounded
 	// admission queue; excess load is shed with 503 + Retry-After.
 	admit *admission
+	// profiles, when non-nil, exposes the continuous profiler's bundle
+	// ring at /debug/profiles (see profiles_http.go).
+	profiles *profiling.Store
 }
 
 type storedDataset struct {
@@ -194,6 +198,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
 	mux.HandleFunc("GET /debug/traces/{trace}", s.handleTraceGet)
+	mux.HandleFunc("GET /debug/profiles", s.handleProfileIndex)
+	mux.HandleFunc("GET /debug/profiles/{bundle}", s.handleProfileGet)
+	mux.HandleFunc("GET /debug/profiles/{bundle}/{kind}", s.handleProfileFetch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -348,7 +355,9 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 // HealthResponse is the GET /healthz body. Beyond liveness it carries the
 // build/environment fingerprint (go version, GOMAXPROCS, NumCPU, git SHA
 // when the binary was VCS-stamped), so any number scraped alongside it is
-// attributable to the machine and toolchain that produced it.
+// attributable to the machine and toolchain that produced it — plus the
+// two signals a saturation probe needs without parsing /metrics: the
+// predict admission queue depth and the disk-tier traffic counters.
 type HealthResponse struct {
 	Status         string  `json:"status"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
@@ -358,19 +367,40 @@ type HealthResponse struct {
 	GOMAXPROCS     int     `json:"gomaxprocs"`
 	NumCPU         int     `json:"num_cpu"`
 	GitSHA         string  `json:"git_sha,omitempty"`
+	// AdmissionQueueDepth is how many predict requests are waiting for an
+	// execution slot right now (always 0 with admission control off).
+	AdmissionQueueDepth int64 `json:"admission_queue_depth"`
+	// Store mirrors the disk-tier counters from /metrics; all zero when
+	// no -store-dir is attached.
+	Store StoreHealth `json:"store"`
+}
+
+// StoreHealth is the disk-tier counter block inside HealthResponse.
+type StoreHealth struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Demotions int64 `json:"demotions"`
+	WarmLoads int64 `json:"warm_loads"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fp := telemetry.Fingerprint()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:         "ok",
-		UptimeSeconds:  time.Since(s.started).Seconds(),
-		Platforms:      len(s.plats),
-		ResidentModels: s.fits.size(),
-		GoVersion:      fp.GoVersion,
-		GOMAXPROCS:     fp.GOMAXPROCS,
-		NumCPU:         fp.NumCPU,
-		GitSHA:         fp.GitSHA,
+		Status:              "ok",
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		Platforms:           len(s.plats),
+		ResidentModels:      s.fits.size(),
+		GoVersion:           fp.GoVersion,
+		GOMAXPROCS:          fp.GOMAXPROCS,
+		NumCPU:              fp.NumCPU,
+		GitSHA:              fp.GitSHA,
+		AdmissionQueueDepth: s.reg.Gauge(telemetry.AdmissionQueueDepth, "route", "predict").Value(),
+		Store: StoreHealth{
+			Hits:      s.reg.Counter(telemetry.StoreHits).Value(),
+			Misses:    s.reg.Counter(telemetry.StoreMisses).Value(),
+			Demotions: s.reg.Counter(telemetry.StoreDemotions).Value(),
+			WarmLoads: s.reg.Counter(telemetry.StoreWarmLoads).Value(),
+		},
 	})
 }
 

@@ -89,3 +89,39 @@ func TestHealthSampler(t *testing.T) {
 		t.Errorf("sampler still running after stop: %d -> %d", before, after)
 	}
 }
+
+// TestHealthSamplerStopRestart pins the stop/restart contract: stop is
+// idempotent (any number of calls, any interleaving), and a stopped
+// registry can host a fresh sampler that resumes the same families without
+// re-describe panics or counter resets.
+func TestHealthSamplerStopRestart(t *testing.T) {
+	reg := NewRegistry()
+
+	stop1 := StartHealthSampler(reg, 5*time.Millisecond)
+	time.Sleep(12 * time.Millisecond)
+	stop1()
+	stop1() // repeated stops of the same sampler are no-ops
+	probesAfterFirst := reg.Histogram(SchedLatencyHistogram).Count()
+	allocAfterFirst := reg.Counter(HeapAllocTotal).Value()
+	if probesAfterFirst == 0 {
+		t.Fatal("first sampler recorded nothing")
+	}
+
+	// Restart on the same registry: families are re-described (must not
+	// conflict) and cumulative series keep growing from where they were.
+	stop2 := StartHealthSampler(reg, 5*time.Millisecond)
+	defer stop2()
+	deadline := time.Now().Add(time.Second)
+	for reg.Histogram(SchedLatencyHistogram).Count() <= probesAfterFirst {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted sampler recorded no new probes")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v := reg.Counter(HeapAllocTotal).Value(); v < allocAfterFirst {
+		t.Errorf("alloc total went backwards across restart: %d -> %d", allocAfterFirst, v)
+	}
+	stop2()
+	stop1() // stale stop from the first sampler must not kill the pattern
+	stop2()
+}

@@ -190,6 +190,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// Bounds returns the histogram's finite bucket upper bounds (ascending).
+// The returned slice is the histogram's own backing; callers must not
+// mutate it.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// CumulativeBelow returns how many observations landed in buckets whose
+// upper bound is <= v — the "good" count for a latency SLO whose threshold
+// is v. Thresholds between bucket bounds round down to the nearest bound,
+// so a threshold that does not align with a bucket is judged
+// conservatively (fewer observations count as good).
+func (h *Histogram) CumulativeBelow(v float64) uint64 {
+	var cum uint64
+	for i, bound := range h.bounds {
+		if bound > v {
+			break
+		}
+		cum += h.buckets[i].Load()
+	}
+	return cum
+}
+
 // snapshotBuckets returns cumulative counts aligned with bounds + the +Inf
 // bucket, plus count and sum, read once.
 func (h *Histogram) snapshotBuckets() (cum []uint64, count uint64, sum float64) {
@@ -334,6 +355,47 @@ func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
 func (r *Registry) HistogramBuckets(name string, bounds []float64, labelPairs ...string) *Histogram {
 	f := r.getFamily(name, kindHistogram, bounds, true)
 	return f.get(labelPairs, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// SumCounters sums every counter series of the family whose labels include
+// all the given name/value pairs (subset match; no pairs sums the whole
+// family). Families that are not counters, or do not exist, sum to 0. The
+// SLO watchdog uses it to collapse the per-platform dimension of the
+// request counters into one per-route total.
+func (r *Registry) SumCounters(name string, labelPairs ...string) int64 {
+	f := r.family(name)
+	if f == nil || f.kind != kindCounter {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total int64
+	for _, s := range f.series {
+		if labelsInclude(s.labels, labelPairs) {
+			if c, ok := s.metric.(*Counter); ok {
+				total += c.Value()
+			}
+		}
+	}
+	return total
+}
+
+// labelsInclude reports whether the ordered label pairs contain every
+// wanted name/value pair.
+func labelsInclude(labels, want []string) bool {
+	for i := 0; i+1 < len(want); i += 2 {
+		found := false
+		for j := 0; j+1 < len(labels); j += 2 {
+			if labels[j] == want[i] && labels[j+1] == want[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // familyNames returns registered family names, sorted (stable exposition).
