@@ -4,17 +4,19 @@
 # short loadgen smoke that exercises the serving path end-to-end, a wire
 # smoke (binary-vs-JSON equivalence over a live server + decoder fuzz seed
 # corpus), a perf-tracking smoke (mlaas-perf run/compare/report against
-# perf/results/), and a profiling smoke (bundle capture -> list -> diff
-# through mlaas-profile, SLO watchdog tests under -race).
+# perf/results/), a profiling smoke (bundle capture -> list -> diff
+# through mlaas-profile, SLO watchdog tests under -race), and a cluster
+# smoke (binary predict through the router, kill-one-replica failover,
+# sharded-sweep-equals-serial, and a 2-replica scaling run).
 # CI (.github/workflows/ci.yml) and humans alike should run it before merging.
 
 GO ?= go
 
 RACE_PKGS := ./internal/telemetry ./internal/service ./internal/client \
 	./internal/wire ./internal/pipeline ./internal/platforms ./internal/store \
-	./internal/profiling
+	./internal/profiling ./internal/cluster
 
-.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke perf-run perf-compare perf-report
+.PHONY: all build vet test race check bench bench-quick bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke cluster-smoke perf-run perf-compare perf-report
 
 all: check
 
@@ -34,7 +36,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestParallel|TestSweepCancellation' ./internal/core
 
-check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke
+check: vet test race bench-kernels loadgen-smoke trace-smoke wire-smoke store-smoke perf-smoke profile-smoke cluster-smoke
 
 # A ~2s end-to-end run of the closed-loop load generator against in-process
 # servers: proves upload/train/predict and the refit-vs-forward comparison
@@ -98,6 +100,19 @@ profile-smoke:
 	$(GO) run ./cmd/mlaas-profile -dir /tmp/mlaas-profile-smoke show latest >/dev/null
 	$(GO) run ./cmd/mlaas-profile -dir /tmp/mlaas-profile-smoke diff first latest -top 5
 	$(GO) test -race -count=1 -run 'TestBurnWindow|TestWatchdog|TestSLOBreach' ./internal/profiling
+
+# Cluster-serving smoke: binary-codec predicts through the router must
+# match a single-process server byte-for-byte, every request must survive
+# one of three replicas dying (failover + lazy repair), a fleet-sharded
+# sweep must merge byte-identically to a serial one, and a short 2-replica
+# scaling run through budget-capped replicas must complete with zero
+# errors. The committed 1/2/4-replica scaling record lives in
+# perf/results/ (label pr10-cluster); method in EXPERIMENTS.md.
+cluster-smoke:
+	$(GO) test -count=1 -run 'TestRouterBinaryPredictMatchesDirect|TestRouterFailoverKillOneOfThree|TestRouterLazyRepair|TestRingGolden' ./internal/cluster
+	$(GO) test -count=1 -run 'TestFleetSweepByteIdentical/replicas=3' ./internal/core
+	$(GO) run ./cmd/mlaas-loadgen -cluster 1,2 -classifier logreg -codec binary \
+		-duration 1s -replica-budget 100 -cluster-models 8 >/dev/null
 
 # A real measured run appended to the committed history (5 rounds, CV-gated
 # reruns). Commit the new perf/results/ file with the change it measures.

@@ -24,6 +24,11 @@
 //	                      with huge test sets. Predictions are byte-identical
 //	                      at any shard count.
 //	-cache FILE           persist/reuse the sweep's raw measurements
+//	-fleet URLS           shard the sweep across a fleet of mlaas-server
+//	                      replicas (comma-separated base URLs); each
+//	                      (platform, dataset) unit runs on its consistent-hash
+//	                      owner and results merge byte-identically to a
+//	                      local sweep
 //	-v                    progress logging
 //	-progress             repaint a live done/total/rate/ETA line on stderr
 //	                      while the sweep runs (off when -v is set)
@@ -79,6 +84,10 @@ func main() {
 	progress := flag.Bool("progress", false, "repaint a live sweep progress line on stderr (ignored with -v)")
 	progressAddr := flag.String("progress-addr", "", "serve sweep progress as JSON at this address under /progress")
 	traceOut := flag.String("trace-out", "", "export retained traces as JSONL here (analyse with mlaas-trace)")
+	fleet := flag.String("fleet", "",
+		"comma-separated mlaas-server replica URLs: shard the sweep's (platform, dataset) units "+
+			"across the fleet by consistent hash instead of measuring in-process. Results are "+
+			"byte-identical to a local sweep at any replica count (modulo wall-clock micros).")
 	profileDir := flag.String("profile-dir", "",
 		"capture continuous-profiler bundles into this directory: periodic captures during the sweep plus one tagged end-of-run bundle (inspect with mlaas-profile)")
 	profileInterval := flag.Duration("profile-interval", 30*time.Second, "period between periodic captures while the run is in flight")
@@ -175,9 +184,21 @@ func main() {
 			}()
 			stopLine = func() { close(done); wg.Wait() }
 		}
-		fmt.Fprintf(os.Stderr, "running measurement sweep (%d datasets, profile %s, %d workers)...\n",
-			datasetCount(*maxDatasets), profile.Name, *workers)
-		sw, err = core.LoadOrRunSweep(ctx, *cache, opts)
+		if *fleet != "" {
+			var endpoints []string
+			for _, u := range strings.Split(*fleet, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					endpoints = append(endpoints, u)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "running sharded measurement sweep (%d datasets, profile %s, %d workers, %d replicas)...\n",
+				datasetCount(*maxDatasets), profile.Name, *workers, len(endpoints))
+			sw, err = core.LoadOrRunSweepFleet(ctx, *cache, opts, endpoints)
+		} else {
+			fmt.Fprintf(os.Stderr, "running measurement sweep (%d datasets, profile %s, %d workers)...\n",
+				datasetCount(*maxDatasets), profile.Name, *workers)
+			sw, err = core.LoadOrRunSweep(ctx, *cache, opts)
+		}
 		if stopLine != nil {
 			stopLine()
 		}

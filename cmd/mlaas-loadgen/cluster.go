@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/cluster"
+	"mlaasbench/internal/dataset"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// ClusterPoint is one fleet size's measured goodput.
+type ClusterPoint struct {
+	Replicas    int     `json:"replicas"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"duration_sec"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	P95Ms       float64 `json:"p95_ms"`
+	// ScaleX is this point's goodput over the 1-replica point's (1.0 for
+	// the first point).
+	ScaleX float64 `json:"scale_x"`
+}
+
+// ClusterReport is the -cluster scaling sweep: the same closed-loop
+// workload run through a router over growing fleets of budget-capped
+// replicas.
+type ClusterReport struct {
+	// ReplicaBudgetRPS is each replica's -serve-budget: the fixed-node
+	// capacity model that makes scaling measurable on one machine.
+	ReplicaBudgetRPS float64        `json:"replica_budget_rps"`
+	Models           int            `json:"models"`
+	Clients          int            `json:"clients"`
+	Replication      int            `json:"replication"`
+	Points           []ClusterPoint `json:"points"`
+}
+
+// runCluster measures router goodput at each fleet size in counts. Every
+// replica is an in-process server paced to budget req/s — the capacity of
+// one fixed-size node — so on a single machine the curve isolates what
+// the cluster layer adds: with near-linear scaling, goodput at N replicas
+// approaches N x budget.
+//
+// The workload trains `models` models under distinct seeds; distinct
+// seeds give distinct ring keys, so the models' primary owners spread
+// over the fleet and closed-loop clients cycling the model list keep
+// every replica's pacer saturated. A single-model workload would pin to
+// one primary and could never scale — models, not requests, are the
+// cluster's unit of placement.
+func runCluster(counts []int, budget float64, platform string, cfg pipeline.Config, sp dataset.Split, seed uint64, clients, batch, models int, d time.Duration, codec client.Codec) (*ClusterReport, error) {
+	rep := &ClusterReport{
+		ReplicaBudgetRPS: budget,
+		Models:           models,
+		Clients:          clients,
+		Replication:      cluster.DefaultReplication,
+	}
+	instances := tileInstances(sp.Test.X, batch)
+	for _, n := range counts {
+		pt, err := runClusterPoint(n, budget, platform, cfg, sp, instances, seed, clients, models, d, codec)
+		if err != nil {
+			return nil, fmt.Errorf("%d replicas: %w", n, err)
+		}
+		if len(rep.Points) == 0 {
+			pt.ScaleX = 1
+		} else if base := rep.Points[0].GoodputRPS; base > 0 {
+			pt.ScaleX = pt.GoodputRPS / base
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+func runClusterPoint(n int, budget float64, platform string, cfg pipeline.Config, sp dataset.Split, instances [][]float64, seed uint64, clients, models int, d time.Duration, codec client.Codec) (ClusterPoint, error) {
+	quiet := func(string, ...any) {}
+	urls := make([]string, n)
+	var backends []*httptest.Server
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		api := service.NewServer(quiet).
+			WithRegistry(telemetry.NewRegistry()).
+			WithServeBudget(budget)
+		srv := httptest.NewServer(api.Handler())
+		backends = append(backends, srv)
+		urls[i] = srv.URL
+	}
+	rt, err := cluster.NewRouter(urls, cluster.WithRegistry(telemetry.NewRegistry()), cluster.WithLogger(quiet))
+	if err != nil {
+		return ClusterPoint{}, err
+	}
+	stopProber := rt.StartProber(100 * time.Millisecond)
+	defer stopProber()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// One isolated registry per point: cluster clients must not leak into
+	// the process-wide default registry (the other passes' isolation
+	// contract), and per-point numbers stay attributable.
+	reg := telemetry.NewRegistry()
+	ctx := context.Background()
+	c := client.New(front.URL).WithCodec(codec)
+	c.Telemetry = reg
+	dsID, err := c.Upload(ctx, platform, sp.Train)
+	if err != nil {
+		return ClusterPoint{}, fmt.Errorf("upload: %w", err)
+	}
+	// Distinct seeds -> distinct model ring keys -> primaries spread over
+	// the fleet. One warm-up predict per model keeps first-hit costs out
+	// of the measured window.
+	modelIDs := make([]string, models)
+	for i := range modelIDs {
+		id, err := c.Train(ctx, platform, dsID, cfg, seed+uint64(i))
+		if err != nil {
+			return ClusterPoint{}, fmt.Errorf("train model %d: %w", i, err)
+		}
+		if _, err := c.Predict(ctx, platform, id, instances[:1]); err != nil {
+			return ClusterPoint{}, fmt.Errorf("warm-up predict model %d: %w", i, err)
+		}
+		modelIDs[i] = id
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      int
+	)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(front.URL).WithCodec(codec)
+			cl.Telemetry = reg
+			var local []float64
+			localErrs := 0
+			// Each client walks the model list from its own offset with a
+			// stride coprime to the list length, so clients spread over the
+			// replicas instead of convoying on one pacer.
+			stride := 1
+			if len(modelIDs) > 1 {
+				stride = 1 + w%(len(modelIDs)-1)
+				for gcd(stride, len(modelIDs)) != 1 {
+					stride++
+				}
+			}
+			for i := w; time.Now().Before(deadline); i += stride {
+				t0 := time.Now()
+				_, err := cl.Predict(ctx, platform, modelIDs[i%len(modelIDs)], instances)
+				if err != nil {
+					localErrs++
+					continue
+				}
+				local = append(local, float64(time.Since(t0).Microseconds())/1000)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if len(latencies) == 0 {
+		return ClusterPoint{}, fmt.Errorf("no successful requests in %s (errors: %d)", d, errs)
+	}
+	sort.Float64s(latencies)
+	return ClusterPoint{
+		Replicas:    n,
+		Requests:    len(latencies),
+		Errors:      errs,
+		DurationSec: elapsed,
+		GoodputRPS:  float64(len(latencies)) / elapsed,
+		P95Ms:       quantile(latencies, 0.95),
+	}, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// parseClusterCounts parses "-cluster 1,2,4" into replica counts.
+func parseClusterCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad replica count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no replica counts in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/synth"
+)
+
+func TestParseClusterCounts(t *testing.T) {
+	got, err := parseClusterCounts(" 1, 2,4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "0", "a", "1,-2"} {
+		if _, err := parseClusterCounts(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// TestClusterScalingTwoReplicas is a short version of the committed
+// scaling sweep: two budget-capped replicas behind the router must beat
+// one by well over the pacing noise. The full 1/2/4 curve lives in
+// perf/results; this guards the mechanism (budgeted replicas, model
+// spread, least-loaded routing) in the test suite.
+func TestClusterScalingTwoReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaling measurement")
+	}
+	ds := synth.GenerateClean(synth.Spec{Name: "loadgen", Gen: synth.GenLinear, N: 200, D: 6, Noise: 0.2}, synth.Quick, 1)
+	sp := ds.StratifiedSplit(0.7, rng.New(7))
+	cfg := pipeline.Config{Feat: pipeline.Feat{Kind: "none"}, Classifier: "logreg", Params: map[string]any{}}
+	rep, err := runCluster([]int{1, 2}, 80, "local", cfg, sp, 1, 8, 32, 8, 1200*time.Millisecond, client.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Errors > 0 {
+			t.Fatalf("%d replicas: %d errors", pt.Replicas, pt.Errors)
+		}
+	}
+	if rep.Points[1].ScaleX < 1.5 {
+		t.Fatalf("2 replicas scaled %.2fx over 1, want >= 1.5x", rep.Points[1].ScaleX)
+	}
+}

@@ -65,6 +65,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -118,6 +119,9 @@ type Report struct {
 	Saturation *SaturationReport `json:"saturation,omitempty"`
 	// Restart is set by -restart runs (cold vs warm restart-to-predict).
 	Restart *RestartReport `json:"restart,omitempty"`
+	// Cluster is set by -cluster runs (goodput vs fleet size through the
+	// router, per-replica capacity fixed by -replica-budget).
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -137,6 +141,9 @@ func main() {
 		satDur     = flag.Duration("saturate-duration", 2*time.Second, "measured duration per saturation point")
 		restart    = flag.Bool("restart", false, "measure cold vs warm restart-to-first-predict using a durable artifact store; replaces the closed-loop passes")
 		restartN   = flag.Int("restart-trials", 5, "restart A/B trials (median is reported)")
+		clusterArg = flag.String("cluster", "", `replica-scaling sweep: comma-separated fleet sizes (e.g. "1,2,4"); each point runs the closed-loop workload through a router over that many budget-capped in-process replicas; replaces the closed-loop passes`)
+		clusterRPS = flag.Float64("replica-budget", 150, "per-replica serve budget (req/s) for -cluster points — the fixed-node capacity model")
+		clusterMdl = flag.Int("cluster-models", 12, "distinct models trained per -cluster point so primaries spread over the fleet")
 		admitConc  = flag.Int("admit-concurrency", runtime.NumCPU(), "admission slots for the in-process saturation server (0 disables load shedding)")
 		admitQueue = flag.Int("admit-queue", service.DefaultAdmissionQueue, "admission waiting-queue bound for the in-process saturation server")
 		out        = flag.String("out", "", "write the JSON report here (always printed to stdout)")
@@ -191,6 +198,30 @@ func main() {
 			log.Fatalf("loadgen: restart A/B: %v", err)
 		}
 		rep.Restart = res
+	} else if *clusterArg != "" {
+		// Replica-scaling sweep: the same workload through a router over
+		// growing fleets of budget-capped replicas. Clients auto-scale with
+		// the largest fleet so every replica's pacer stays saturated.
+		counts, err := parseClusterCounts(*clusterArg)
+		if err != nil {
+			log.Fatalf("loadgen: -cluster: %v", err)
+		}
+		maxN := 0
+		for _, n := range counts {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		cclients := *clients
+		if min := 4 * maxN; cclients < min {
+			cclients = min
+		}
+		cl, err := runCluster(counts, *clusterRPS, *platform, cfg, sp, *seed, cclients, *batch, *clusterMdl, *duration, codec)
+		if err != nil {
+			log.Fatalf("loadgen: cluster sweep: %v", err)
+		}
+		rep.Cluster = cl
+		rep.Clients = cclients
 	} else if *saturate != "" {
 		// Open-loop saturation sweep: offered load is fixed per point,
 		// goodput and sheds are measured. In-process mode runs the server
@@ -392,6 +423,22 @@ func perfRecord(rep Report, label string) *perf.Record {
 				one("loadgen/saturation/errors_"+k, "count", float64(byStatus[k])))
 		}
 	}
+	if cl := rep.Cluster; cl != nil {
+		rec.Notes = fmt.Sprintf("cluster scaling sweep: %s %s, %d models, %d clients, %.0f req/s per replica, codec %s",
+			rep.Platform, rep.Config, cl.Models, cl.Clients, cl.ReplicaBudgetRPS, rep.Codec)
+		for _, pt := range cl.Points {
+			suffix := strconv.Itoa(pt.Replicas)
+			rec.Results = append(rec.Results,
+				one("loadgen/cluster/goodput_"+suffix, "req/s", pt.GoodputRPS))
+			if pt.Replicas > 1 {
+				// "x" is a ratio, not a latency: mark the direction manually.
+				r := perf.Result{Name: "loadgen/cluster/scale_" + suffix, Unit: "x",
+					Runs: []float64{pt.ScaleX}, HigherIsBetter: true}
+				r.Finalize()
+				rec.Results = append(rec.Results, r)
+			}
+		}
+	}
 	if r := rep.Restart; r != nil {
 		rec.Notes = fmt.Sprintf("restart A/B: %s %s, %d trials, batch %d",
 			rep.Platform, rep.Config, r.Trials, rep.Batch)
@@ -584,6 +631,14 @@ func printSummary(rep Report) {
 		fmt.Printf("    warm %8.2fms  (%d fits, %d models warmed in %.2fms)\n",
 			r.WarmMs, r.WarmFits, r.WarmedModels, r.WarmLoadMs)
 		fmt.Printf("    warm restart speedup: %.1fx\n", r.SpeedupX)
+	}
+	if cl := rep.Cluster; cl != nil {
+		fmt.Printf("  cluster scaling (%d models, %d clients, %.0f req/s per replica):\n",
+			cl.Models, cl.Clients, cl.ReplicaBudgetRPS)
+		for _, pt := range cl.Points {
+			fmt.Printf("    %d replica(s): %6d reqs (%d errs) in %5.2fs  goodput %8.1f req/s  p95 %6.2fms  scale %.2fx\n",
+				pt.Replicas, pt.Requests, pt.Errors, pt.DurationSec, pt.GoodputRPS, pt.P95Ms, pt.ScaleX)
+		}
 	}
 	if s := rep.Saturation; s != nil {
 		if s.CapacityRPS > 0 {

@@ -117,6 +117,15 @@ type Client struct {
 	// Telemetry receives the client's metrics; nil means the process-wide
 	// telemetry.Default() registry.
 	Telemetry *telemetry.Registry
+	// Fallbacks are alternate service roots tried on retry: attempt k goes
+	// to element k-1 of [BaseURL, Fallbacks...] cycled, so a replica that
+	// fails — including one that dies mid-response, since response-read
+	// errors retry like dial errors — hands the request to the next
+	// endpoint instead of hammering the corpse. In a cluster these are the
+	// model's remaining ring owners. The request id, Traceparent and body
+	// are identical across endpoints, so server-side the failover shows up
+	// as sibling attempts of one rpc span.
+	Fallbacks []string
 
 	mu     sync.Mutex
 	jitter *rng.RNG
@@ -149,6 +158,15 @@ func (c *Client) WithTransport(rt http.RoundTripper) *Client {
 // (chainable).
 func (c *Client) WithCodec(codec Codec) *Client {
 	c.Codec = codec
+	return c
+}
+
+// WithFailover adds alternate endpoints rotated through on retry and
+// returns the client (chainable). Pass a model's remaining ring owners
+// so a mid-request replica death fails over instead of retrying the
+// dead endpoint until the budget runs out.
+func (c *Client) WithFailover(urls ...string) *Client {
+	c.Fallbacks = append(c.Fallbacks, urls...)
 	return c
 }
 
@@ -371,7 +389,15 @@ func (c *Client) doRaw(ctx context.Context, op, method, path, contentType, accep
 				return err
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(payload))
+		base := c.BaseURL
+		if len(c.Fallbacks) > 0 {
+			bases := append([]string{c.BaseURL}, c.Fallbacks...)
+			base = bases[attempt%len(bases)]
+			if attempt > 0 {
+				reg.Counter(telemetry.ClientFailoversTotal, "endpoint", op).Inc()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("client: build request: %w", err)
 		}

@@ -1,0 +1,82 @@
+package client_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mlaasbench/internal/client"
+	"mlaasbench/internal/pipeline"
+	"mlaasbench/internal/rng"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
+)
+
+// TestFailoverOnMidResponseDeath kills a backend between the request and
+// the end of the response — headers sent, body truncated — and checks the
+// client treats the read error as retryable and fails over to the next
+// endpoint instead of re-dialing the corpse. This is the replica-death
+// mode a dial-error-only retry misses: the connection works, the
+// response never finishes.
+func TestFailoverOnMidResponseDeath(t *testing.T) {
+	ds := synth.GenerateClean(synth.Spec{Name: "fo", Gen: synth.GenLinear, N: 120, D: 3, Noise: 0.2}, synth.Quick, 1)
+	sp := ds.StratifiedSplit(0.7, rng.New(2))
+	ctx := context.Background()
+
+	// The survivor: a real server holding the model.
+	api := service.NewServer(func(string, ...any) {}).WithRegistry(telemetry.NewRegistry())
+	survivor := httptest.NewServer(api.Handler())
+	defer survivor.Close()
+	setup := client.New(survivor.URL)
+	dsID, err := setup.Upload(ctx, "local", sp.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mID, err := setup.Train(ctx, "local", dsID, pipeline.Config{Classifier: "logreg", Params: map[string]any{}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := setup.Predict(ctx, "local", mID, sp.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim: accepts the request, starts a 200 response, then drops
+	// the connection mid-body.
+	var died atomic.Int64
+	victim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		died.Add(1)
+		conn, buf, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		_, _ = buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{\"labels\":[")
+		_ = buf.Flush()
+		_ = conn.Close()
+	}))
+	defer victim.Close()
+
+	reg := telemetry.NewRegistry()
+	c := client.New(victim.URL).WithFailover(survivor.URL)
+	c.Telemetry = reg
+	got, err := c.Predict(ctx, "local", mID, sp.Test.X)
+	if err != nil {
+		t.Fatalf("predict with failover: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("failover predict returned different labels")
+	}
+	if died.Load() == 0 {
+		t.Fatal("victim was never hit — the test proved nothing")
+	}
+	if n := reg.Counter(telemetry.ClientFailoversTotal, "endpoint", "predict").Value(); n == 0 {
+		t.Fatal("failover counter never moved")
+	}
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlaasbench/internal/telemetry"
+)
+
+// Breaker defaults: a replica that fails proxied requests this many times
+// in a row stops receiving traffic for the cooldown, then gets one trial
+// request (half-open). Probe-based health runs independently and can
+// revive a replica sooner.
+const (
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = 2 * time.Second
+	DefaultProbeInterval   = time.Second
+	DefaultProbeTimeout    = 500 * time.Millisecond
+)
+
+// replicaState tracks one replica's observed health: the last probe
+// verdict (up + ready, from its /healthz) and a proxy-outcome circuit
+// breaker. Both feed available(), the single routing predicate.
+type replicaState struct {
+	name string
+	base string // base URL, no trailing slash
+
+	// inFlight counts requests this replica is serving through the router
+	// right now; predict routing reads it to pick the least-loaded owner.
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	probed    bool // at least one probe completed
+	up        bool
+	ready     bool
+	fails     int       // consecutive proxy failures
+	openUntil time.Time // breaker open until (zero = closed)
+	halfOpen  bool      // one trial request is in flight past openUntil
+}
+
+// available reports whether the router should send this replica traffic:
+// the last probe (if any) saw it up and ready, and the breaker is not
+// open. Past the cooldown one caller wins the half-open trial; its next
+// recorded outcome closes or re-opens the breaker.
+func (rs *replicaState) available(now time.Time) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.probed && (!rs.up || !rs.ready) {
+		return false
+	}
+	if rs.openUntil.IsZero() || now.After(rs.openUntil) {
+		if !rs.openUntil.IsZero() {
+			if rs.halfOpen {
+				return false // another trial is already probing the replica
+			}
+			rs.halfOpen = true
+		}
+		return true
+	}
+	return false
+}
+
+// recordSuccess closes the breaker.
+func (rs *replicaState) recordSuccess() {
+	rs.mu.Lock()
+	rs.fails = 0
+	rs.openUntil = time.Time{}
+	rs.halfOpen = false
+	rs.mu.Unlock()
+}
+
+// recordFailure counts a proxy failure and opens the breaker at the
+// threshold (or re-opens it when a half-open trial fails).
+func (rs *replicaState) recordFailure(threshold int, cooldown time.Duration) (opened bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.fails++
+	rs.halfOpen = false
+	if rs.fails >= threshold {
+		wasOpen := !rs.openUntil.IsZero() && time.Now().Before(rs.openUntil)
+		rs.openUntil = time.Now().Add(cooldown)
+		return !wasOpen
+	}
+	return false
+}
+
+// setProbe records a health-probe verdict and reports whether the
+// routable state (up && ready) changed — the caller counts transitions.
+func (rs *replicaState) setProbe(up, ready bool) (changed bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	was := rs.probed && rs.up && rs.ready
+	is := up && ready
+	changed = !rs.probed || was != is
+	rs.probed, rs.up, rs.ready = true, up, ready
+	if is {
+		// A healthy probe forgives past proxy failures: the replica came
+		// back (restart, warm finished), so don't keep the breaker open.
+		rs.fails = 0
+		rs.openUntil = time.Time{}
+		rs.halfOpen = false
+	}
+	return changed
+}
+
+// snapshot returns the state for /healthz reporting.
+func (rs *replicaState) snapshot(now time.Time) ReplicaHealth {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return ReplicaHealth{
+		Name:             rs.name,
+		URL:              rs.base,
+		Probed:           rs.probed,
+		Up:               rs.up || !rs.probed,
+		Ready:            rs.ready || !rs.probed,
+		BreakerOpen:      !rs.openUntil.IsZero() && now.Before(rs.openUntil),
+		ConsecutiveFails: rs.fails,
+	}
+}
+
+// ReplicaHealth is one replica's entry in the router's /healthz body.
+type ReplicaHealth struct {
+	Name             string `json:"name"`
+	URL              string `json:"url"`
+	Probed           bool   `json:"probed"`
+	Up               bool   `json:"up"`
+	Ready            bool   `json:"ready"`
+	BreakerOpen      bool   `json:"breaker_open"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+}
+
+// replicaHealthz is the slice of the service /healthz body the prober
+// reads: liveness is the HTTP 200, readiness is the ready field (absent
+// on pre-readiness servers ⇒ treat 200 as ready, matching old behaviour).
+type replicaHealthz struct {
+	Status string `json:"status"`
+	Ready  *bool  `json:"ready"`
+}
+
+// StartProber begins probing every replica's /healthz at the given
+// interval and returns a stop function. A replica that fails the probe
+// (connection error, non-200, undecodable body) is marked down; a 200
+// with ready:false is up but not routable — the warming state the boot
+// warm scan reports. Routable-state transitions are counted into
+// mlaas_router_replica_state_changes_total{replica,state} — the ring
+// rebalance signal — and logged.
+func (rt *Router) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		rt.probeAll() // immediate first pass so routing starts informed
+		for {
+			select {
+			case <-tick.C:
+				rt.probeAll()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// probeAll probes every replica once, concurrently.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, rs := range rt.replicas {
+		wg.Add(1)
+		go func(rs *replicaState) {
+			defer wg.Done()
+			up, ready := rt.probeOne(rs)
+			if rs.setProbe(up, ready) {
+				state := "down"
+				if up && ready {
+					state = "up"
+				} else if up {
+					state = "warming"
+				}
+				rt.reg.Counter(telemetry.RouterReplicaStateChangesTotal,
+					"replica", rs.name, "state", state).Inc()
+				rt.logf("cluster: replica %s (%s) -> %s", rs.name, rs.base, state)
+			}
+		}(rs)
+	}
+	wg.Wait()
+}
+
+// probeOne fetches one replica's /healthz and interprets it.
+func (rt *Router) probeOne(rs *replicaState) (up, ready bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.base+"/healthz", nil)
+	if err != nil {
+		return false, false
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, false
+	}
+	var body replicaHealthz
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, false
+	}
+	if body.Ready == nil {
+		return true, true
+	}
+	return true, *body.Ready
+}

@@ -1,0 +1,160 @@
+// Package cluster turns the single-process MLaaS server into a serving
+// fleet: a consistent-hash ring assigns every model key to R replica
+// owners, a router proxies the public API onto the fleet with per-replica
+// health checking and failover, and the whole thing stays byte-identical
+// to a single process — the ring only decides *where* a deterministic
+// computation runs, never *what* it computes.
+//
+// The architecture mirrors what the paper's platforms actually run behind
+// their endpoints: a front end that hashes each customer model onto a
+// small set of serving nodes so the fitted artifact stays cache-resident
+// on exactly those nodes (cache-aware routing), with the satellite /
+// storage-node split of systems like storj as the structural template.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring defaults. 128 virtual nodes per member keeps the per-member load
+// spread within a few percent of uniform at fleet sizes this repo runs
+// (2..16 replicas) while keeping the ring tiny (~2k points at 16 nodes).
+const (
+	DefaultVirtualNodes = 128
+	DefaultReplication  = 2
+)
+
+// Ring is an immutable consistent-hash ring over a set of member names.
+//
+// Determinism is a hard contract: the hash is FNV-1a 64 (spec-fixed, no
+// per-process seed), members are sorted before placement, and ties break
+// by member order — so the same member set produces byte-identical
+// key→owner assignments in every process, on every architecture, on every
+// Go version. The golden-file test in ring_test.go pins this. Membership
+// changes move only the keys adjacent to the joined/left member's virtual
+// nodes (minimal movement), which is the property that makes cache-aware
+// routing survive a replica joining or leaving: everyone else's resident
+// models stay where they are.
+type Ring struct {
+	members     []string
+	vnodes      int
+	replication int
+	points      []ringPoint // sorted by hash, ties by member index
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into members
+}
+
+// NewRing places each member on the ring vnodes times and returns the
+// ring. Member names are sorted and deduplicated; vnodes and replication
+// default when non-positive. Replication is clamped to the member count.
+func NewRing(members []string, vnodes, replication int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	ms = dedupe(ms)
+	if replication > len(ms) {
+		replication = len(ms)
+	}
+	r := &Ring{
+		members:     ms,
+		vnodes:      vnodes,
+		replication: replication,
+		points:      make([]ringPoint, 0, len(ms)*vnodes),
+	}
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(m + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// hashKey is the ring's one hash function, for both virtual nodes and
+// keys. FNV-1a 64 is fixed by specification (no randomization, no
+// dependence on word size or Go release) but has weak avalanche on the
+// short, similar strings ring inputs are made of — "m1#0" vs "m2#0"
+// land correlated, which skews member shares by 2-3x. The MurmurHash3
+// fmix64 finalizer (fixed constants, equally spec-stable) restores the
+// avalanche; measured spread at 128 vnodes is within ~15% of fair.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Members returns the ring's member names in sorted order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Replication returns the configured owner count per key.
+func (r *Ring) Replication() int { return r.replication }
+
+// Owner returns the primary owner of key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	owners := r.OwnersN(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the key's owner set: the first R distinct members
+// encountered walking clockwise from the key's hash. The order is
+// meaningful — owners[0] is the primary, the rest are the failover
+// sequence — and deterministic for a given member set.
+func (r *Ring) Owners(key string) []string { return r.OwnersN(key, r.replication) }
+
+// OwnersN is Owners with an explicit owner count (clamped to the member
+// count).
+func (r *Ring) OwnersN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]struct{}, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.idx]; ok {
+			continue
+		}
+		seen[p.idx] = struct{}{}
+		out = append(out, r.members[p.idx])
+	}
+	return out
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

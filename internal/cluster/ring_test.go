@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the ring golden file")
+
+// TestRingGolden pins the ring's key→owner assignment to a committed
+// golden file: the same member set must produce byte-identical
+// assignments in every process, on every architecture, on every Go
+// version. If this test fails after an intentional ring change, the
+// change broke cluster-wide cache residency for every deployed fleet —
+// regenerate with -update only if that is understood.
+func TestRingGolden(t *testing.T) {
+	type golden struct {
+		Members     []string            `json:"members"`
+		VNodes      int                 `json:"vnodes"`
+		Replication int                 `json:"replication"`
+		Owners      map[string][]string `json:"owners"`
+	}
+	members := []string{
+		"http://replica-a:8080",
+		"http://replica-b:8080",
+		"http://replica-c:8080",
+		"http://replica-d:8080",
+		"http://replica-e:8080",
+	}
+	ring := NewRing(members, DefaultVirtualNodes, 2)
+	got := golden{Members: members, VNodes: DefaultVirtualNodes, Replication: 2, Owners: map[string][]string{}}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("model/platform-%d/ds-%d/logreg/lambda=%d/%d", i%7, i%11, i%3, i)
+		got.Owners[key] = ring.Owners(key)
+	}
+
+	path := filepath.Join("testdata", "ring_golden.json")
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for k, w := range want.Owners {
+			if g := got.Owners[k]; !reflect.DeepEqual(g, w) {
+				t.Errorf("key %s: owners %v, golden %v", k, g, w)
+			}
+		}
+		t.Fatal("ring assignment diverged from golden file")
+	}
+}
+
+// TestRingDeterministicAcrossOrder checks that member order at
+// construction is irrelevant: two routers given the same fleet in a
+// different order must agree on every assignment.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := NewRing([]string{"m1", "m2", "m3", "m4"}, 64, 2)
+	b := NewRing([]string{"m4", "m2", "m1", "m3"}, 64, 2)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if ga, gb := a.Owners(key), b.Owners(key); !reflect.DeepEqual(ga, gb) {
+			t.Fatalf("key %s: %v vs %v", key, ga, gb)
+		}
+	}
+}
+
+// TestRingMinimalMovementJoin checks the consistent-hashing contract: when
+// one member joins an N-1 fleet, only keys that now belong to the joiner
+// move (everyone else's assignment is untouched), and the moved share is
+// close to the fair 1/N — the property that keeps the fleet's resident
+// models resident through a scale-up.
+func TestRingMinimalMovementJoin(t *testing.T) {
+	const keys = 10000
+	members := []string{"m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8"}
+	before := NewRing(members, DefaultVirtualNodes, 1)
+	after := NewRing(append(members, "m9"), DefaultVirtualNodes, 1)
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			if oa != "m9" {
+				t.Fatalf("key %s moved %s -> %s, not to the joiner", key, ob, oa)
+			}
+		}
+	}
+	fair := int(math.Ceil(float64(keys) / float64(len(members)+1)))
+	slack := fair / 2 // vnode placement variance at 128 vnodes stays well inside 50%
+	if moved > fair+slack {
+		t.Fatalf("join moved %d keys, want <= %d (fair %d + slack %d)", moved, fair+slack, fair, slack)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys — the joiner owns nothing")
+	}
+	t.Logf("join: moved %d/%d keys (fair share %d)", moved, keys, fair)
+}
+
+// TestRingMinimalMovementLeave checks the inverse: when one member
+// leaves, only its keys move, redistributing over the survivors.
+func TestRingMinimalMovementLeave(t *testing.T) {
+	const keys = 10000
+	members := []string{"m1", "m2", "m3", "m4", "m5", "m6"}
+	before := NewRing(members, DefaultVirtualNodes, 1)
+	after := NewRing(members[:len(members)-1], DefaultVirtualNodes, 1) // m6 leaves
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			if ob != "m6" {
+				t.Fatalf("key %s moved %s -> %s but %s did not leave", key, ob, oa, ob)
+			}
+		}
+	}
+	fair := int(math.Ceil(float64(keys) / float64(len(members))))
+	slack := fair / 2
+	if moved > fair+slack {
+		t.Fatalf("leave moved %d keys, want <= %d", moved, fair+slack)
+	}
+	t.Logf("leave: moved %d/%d keys (fair share %d)", moved, keys, fair)
+}
+
+// TestRingOwnersDistinct checks the replication invariant: R owners are
+// R distinct members, in deterministic failover order, clamped to the
+// fleet size.
+func TestRingOwnersDistinct(t *testing.T) {
+	ring := NewRing([]string{"a", "b", "c"}, 32, 2)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := ring.Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("key %s: %d owners, want 2", key, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %s: duplicate owner %s", key, owners[0])
+		}
+	}
+	if got := ring.OwnersN("k", 10); len(got) != 3 {
+		t.Fatalf("OwnersN over fleet size: %d owners, want 3", len(got))
+	}
+	if got := NewRing(nil, 8, 1).Owners("k"); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+}
+
+// TestRingBalance sanity-checks the vnode spread: no member owns more
+// than ~2x its fair share of the keyspace at the default vnode count.
+func TestRingBalance(t *testing.T) {
+	members := []string{"m1", "m2", "m3", "m4"}
+	ring := NewRing(members, DefaultVirtualNodes, 1)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := keys / len(members)
+	for m, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Fatalf("member %s owns %d keys, fair share %d — vnode spread is broken", m, c, fair)
+		}
+	}
+}

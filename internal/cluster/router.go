@@ -1,0 +1,694 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/telemetry"
+)
+
+// Router is the cluster front end: it owns the public dataset/model id
+// space, consistent-hashes every model onto its R ring owners, and
+// proxies the MLaaS API onto the replica fleet with health-aware
+// failover. Bodies cross the router verbatim — a binary-frame predict is
+// relayed as raw bytes, never decoded or re-encoded — so the PR 7 wire
+// path stays binary hop-to-hop.
+//
+// Ids are the router's, not the replicas': each replica numbers datasets
+// and models with its own local counter, so the router keeps a
+// public-id → per-replica-id map and lazily provisions any owner that is
+// missing an artifact (a late joiner, a restarted replica) by replaying
+// the stored upload/train request. Training is deterministic, so a
+// replayed train produces the same fitted model the original did.
+type Router struct {
+	ring     *Ring
+	replicas []*replicaState // index-aligned with ring.Members()
+	byName   map[string]*replicaState
+
+	httpc        *http.Client
+	reg          *telemetry.Registry
+	logf         func(format string, args ...any)
+	breakFails   int
+	breakCool    time.Duration
+	probeTimeout time.Duration
+	started      time.Time
+
+	mu       sync.RWMutex
+	nextID   int
+	datasets map[string]*routedDataset // key: platform/publicID
+	models   map[string]*routedModel   // key: platform/publicID
+}
+
+// routedDataset is the router's durable record of one upload: the
+// replayable body plus the per-replica remote ids it resolved to.
+type routedDataset struct {
+	platform    string
+	body        []byte
+	contentType string
+	samples     int
+	columns     int
+
+	mu     sync.Mutex
+	remote map[string]string // replica name -> remote dataset id
+}
+
+// routedModel is the router's durable record of one train request. The
+// ring key fixes the owner set; remote maps each owner to its local
+// model id.
+type routedModel struct {
+	platform  string
+	datasetID string // public dataset id
+	train     service.TrainRequest
+	key       string
+	owners    []string
+
+	mu     sync.Mutex
+	remote map[string]string // replica name -> remote model id
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithRegistry redirects router metrics into reg (default: a fresh
+// isolated registry).
+func WithRegistry(reg *telemetry.Registry) Option { return func(rt *Router) { rt.reg = reg } }
+
+// WithLogger sets the router's log function (default: silent).
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(rt *Router) { rt.logf = logf }
+}
+
+// WithReplication sets R, the owner count per model key.
+func WithReplication(r int) Option {
+	return func(rt *Router) { rt.ring = NewRing(rt.ring.Members(), rt.ring.vnodes, r) }
+}
+
+// WithVirtualNodes sets the virtual nodes per ring member.
+func WithVirtualNodes(v int) Option {
+	return func(rt *Router) { rt.ring = NewRing(rt.ring.Members(), v, rt.ring.replication) }
+}
+
+// WithBreaker tunes the per-replica circuit breaker.
+func WithBreaker(failures int, cooldown time.Duration) Option {
+	return func(rt *Router) { rt.breakFails, rt.breakCool = failures, cooldown }
+}
+
+// WithProbeTimeout bounds one health probe.
+func WithProbeTimeout(d time.Duration) Option { return func(rt *Router) { rt.probeTimeout = d } }
+
+// WithHTTPClient replaces the proxy HTTP client (connection pool tuning).
+func WithHTTPClient(c *http.Client) Option { return func(rt *Router) { rt.httpc = c } }
+
+// NewRouter builds a router over the given replica base URLs. The URLs
+// are the ring member identities: the same fleet list yields the same
+// key→owner assignment in every process.
+func NewRouter(replicaURLs []string, opts ...Option) (*Router, error) {
+	if len(replicaURLs) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	names := make([]string, len(replicaURLs))
+	for i, u := range replicaURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty replica URL at index %d", i)
+		}
+		names[i] = u
+	}
+	rt := &Router{
+		ring:         NewRing(names, 0, 0),
+		byName:       make(map[string]*replicaState, len(names)),
+		httpc:        &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64, MaxIdleConns: 256, IdleConnTimeout: 90 * time.Second}},
+		reg:          telemetry.NewRegistry(),
+		logf:         func(string, ...any) {},
+		breakFails:   DefaultBreakerFailures,
+		breakCool:    DefaultBreakerCooldown,
+		probeTimeout: DefaultProbeTimeout,
+		started:      time.Now(),
+		datasets:     map[string]*routedDataset{},
+		models:       map[string]*routedModel{},
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if len(rt.ring.Members()) != len(names) {
+		return nil, fmt.Errorf("cluster: duplicate replica URLs")
+	}
+	for _, m := range rt.ring.Members() {
+		rs := &replicaState{name: m, base: m}
+		rt.replicas = append(rt.replicas, rs)
+		rt.byName[m] = rs
+	}
+	rt.describeMetrics()
+	return rt, nil
+}
+
+func (rt *Router) describeMetrics() {
+	rt.reg.Describe(telemetry.RouterRequestsTotal, "Requests proxied by the cluster router, by replica and outcome.")
+	rt.reg.Describe(telemetry.RouterReplicaInFlight, "Requests a replica is serving through the router right now.")
+	rt.reg.Describe(telemetry.RouterReplicaStateChangesTotal, "Replica routable-state transitions (ring rebalance events), by replica and state.")
+	rt.reg.Describe(telemetry.RouterFailoversTotal, "Proxy attempts that failed over to another ring owner, by route.")
+	rt.reg.Describe(telemetry.RouterRepairsTotal, "Datasets/models lazily re-provisioned onto an owner that was missing them, by kind.")
+}
+
+// Registry returns the registry the router records into.
+func (rt *Router) Registry() *telemetry.Registry { return rt.reg }
+
+// Ring returns the router's consistent-hash ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// ModelOwners reports the ring owner set of a routed model, primary
+// first — the operator's answer to "which replicas hold this model".
+// Nil for unknown models.
+func (rt *Router) ModelOwners(platform, modelID string) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rm := rt.models[platform+"/"+modelID]; rm != nil {
+		return append([]string(nil), rm.owners...)
+	}
+	return nil
+}
+
+// Handler returns the router's HTTP handler: the public MLaaS API
+// proxied onto the fleet, plus the router's own /metrics and a fleet
+// /healthz.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/platforms", rt.passthrough("list_platforms"))
+	mux.HandleFunc("GET /v1/platforms/{platform}/surface", rt.passthrough("surface"))
+	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", rt.withSpan("upload", rt.handleUpload))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models", rt.withSpan("train", rt.handleTrain))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", rt.withSpan("predict", rt.handlePredict))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rt.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		rt.writeJSON(w, http.StatusOK, rt.reg.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+// withSpan wraps a handler in a "router:<route>" span that joins the
+// caller's trace when a Traceparent header is present, and stamps the
+// outbound context so proxied hops carry the router's span as parent —
+// the client→router→replica stitch.
+func (rt *Router) withSpan(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(telemetry.RequestIDHeader)
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, reqID)
+		ctx := telemetry.WithRequestID(r.Context(), reqID)
+		ctx = telemetry.WithRegistry(ctx, rt.reg)
+		if tid, sid, ok := telemetry.ParseTraceParent(r.Header.Get(telemetry.TraceParentHeader)); ok {
+			ctx = telemetry.WithRemoteParent(ctx, tid, sid)
+		}
+		ctx, span := telemetry.StartSpan(ctx, "router:"+route)
+		span.SetAttr("route", route).SetAttr("request_id", reqID)
+		w.Header().Set(telemetry.TraceParentHeader, telemetry.FormatTraceParent(span.TraceID(), span.SpanID()))
+		// The replica hop carries the router span as remote parent.
+		r.Header.Set(telemetry.TraceParentHeader, telemetry.FormatTraceParent(span.TraceID(), span.SpanID()))
+		r.Header.Set(telemetry.RequestIDHeader, reqID)
+		h(w, r.WithContext(ctx))
+		span.End()
+	}
+}
+
+// RouterHealth is the router's GET /healthz body: fleet state.
+type RouterHealth struct {
+	Status            string          `json:"status"`
+	UptimeSeconds     float64         `json:"uptime_seconds"`
+	Replicas          []ReplicaHealth `json:"replicas"`
+	AvailableReplicas int             `json:"available_replicas"`
+	Replication       int             `json:"replication"`
+	VirtualNodes      int             `json:"virtual_nodes"`
+	Datasets          int             `json:"datasets"`
+	Models            int             `json:"models"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	out := RouterHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		Replication:   rt.ring.Replication(),
+		VirtualNodes:  rt.ring.vnodes,
+	}
+	for _, rs := range rt.replicas {
+		h := rs.snapshot(now)
+		out.Replicas = append(out.Replicas, h)
+		if h.Up && h.Ready && !h.BreakerOpen {
+			out.AvailableReplicas++
+		}
+	}
+	if out.AvailableReplicas == 0 {
+		out.Status = "degraded"
+	}
+	rt.mu.RLock()
+	out.Datasets, out.Models = len(rt.datasets), len(rt.models)
+	rt.mu.RUnlock()
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+// routerError is the router's error envelope, shaped like the service's
+// so clients parse both identically.
+type routerError struct {
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (rt *Router) fail(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	reqID := telemetry.RequestID(r.Context())
+	rt.logf("router: %d %s (request %s)", status, msg, reqID)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	rt.writeJSON(w, status, routerError{Error: msg, Code: code, RequestID: reqID})
+}
+
+// available returns the replicas currently eligible for traffic, in ring
+// member order.
+func (rt *Router) availableReplicas() []*replicaState {
+	now := time.Now()
+	out := make([]*replicaState, 0, len(rt.replicas))
+	for _, rs := range rt.replicas {
+		if rs.available(now) {
+			out = append(out, rs)
+		}
+	}
+	return out
+}
+
+// proxied is one relayed replica response, body fully read so the
+// router can fail over when a replica dies mid-response.
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// proxy relays one request to a replica and reads the full response.
+// Any transport error — including a connection that dies between the
+// request and the end of the response body — returns an error so the
+// caller can fail over to the next owner.
+func (rt *Router) proxy(r *http.Request, rs *replicaState, method, path, contentType string, body []byte) (*proxied, error) {
+	req, err := http.NewRequestWithContext(r.Context(), method, rs.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	req.Header.Set(telemetry.RequestIDHeader, r.Header.Get(telemetry.RequestIDHeader))
+	req.Header.Set(telemetry.TraceParentHeader, r.Header.Get(telemetry.TraceParentHeader))
+
+	inFlight := rt.reg.Gauge(telemetry.RouterReplicaInFlight, "replica", rs.name)
+	inFlight.Inc()
+	rs.inFlight.Add(1)
+	defer func() {
+		inFlight.Dec()
+		rs.inFlight.Add(-1)
+	}()
+
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	return &proxied{status: resp.StatusCode, header: resp.Header, body: raw}, nil
+}
+
+// relay writes a proxied replica response to the client verbatim.
+func relay(w http.ResponseWriter, p *proxied) {
+	if ct := p.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := p.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(p.status)
+	_, _ = w.Write(p.body)
+}
+
+// outcomeOf maps a relayed status to the requests_total outcome label.
+func outcomeOf(status int) string {
+	switch {
+	case status < 400:
+		return "ok"
+	case status < 500:
+		return "client_error"
+	default:
+		return "error"
+	}
+}
+
+// passthrough proxies a read-only route to the first available replica
+// (any replica can answer — the platform directory is identical
+// everywhere), failing over through the fleet.
+func (rt *Router) passthrough(route string) http.HandlerFunc {
+	return rt.withSpan(route, func(w http.ResponseWriter, r *http.Request) {
+		for _, rs := range rt.availableReplicas() {
+			p, err := rt.proxy(r, rs, http.MethodGet, r.URL.Path, "", nil)
+			if err != nil || p.status >= 500 {
+				rt.noteFailure(rs, route, err)
+				continue
+			}
+			rt.noteSuccess(rs, p.status)
+			relay(w, p)
+			return
+		}
+		rt.fail(w, r, http.StatusServiceUnavailable, "no_replica", "no replica available for %s", route)
+	})
+}
+
+// noteSuccess records a successful (or client-errored: the replica is
+// healthy, the request was bad) proxy outcome.
+func (rt *Router) noteSuccess(rs *replicaState, status int) {
+	rs.recordSuccess()
+	rt.reg.Counter(telemetry.RouterRequestsTotal, "replica", rs.name, "outcome", outcomeOf(status)).Inc()
+}
+
+// noteFailure records a failed proxy attempt and opens the breaker at
+// the threshold.
+func (rt *Router) noteFailure(rs *replicaState, route string, err error) {
+	rt.reg.Counter(telemetry.RouterRequestsTotal, "replica", rs.name, "outcome", "error").Inc()
+	rt.reg.Counter(telemetry.RouterFailoversTotal, "route", route).Inc()
+	if rs.recordFailure(rt.breakFails, rt.breakCool) {
+		rt.reg.Counter(telemetry.RouterReplicaStateChangesTotal, "replica", rs.name, "state", "breaker_open").Inc()
+		rt.logf("router: breaker open for %s", rs.name)
+	}
+	if err != nil {
+		rt.logf("router: %s attempt on %s failed: %v", route, rs.name, err)
+	}
+}
+
+// handleUpload buffers the dataset body, assigns the public id, and
+// pushes the dataset to every currently-available replica. Replicas that
+// miss the broadcast (down, warming, joined later) are repaired lazily
+// by ensureDataset on first need.
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
+	platform := r.PathValue("platform")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, r, http.StatusBadRequest, "bad_payload", "read body: %v", err)
+		return
+	}
+	rd := &routedDataset{
+		platform:    platform,
+		body:        body,
+		contentType: r.Header.Get("Content-Type"),
+		remote:      map[string]string{},
+	}
+	var firstResp *proxied
+	for _, rs := range rt.availableReplicas() {
+		p, err := rt.proxy(r, rs, http.MethodPost, "/v1/platforms/"+platform+"/datasets", rd.contentType, body)
+		if err != nil || p.status >= 500 {
+			rt.noteFailure(rs, "upload", err)
+			continue
+		}
+		rt.noteSuccess(rs, p.status)
+		if p.status != http.StatusCreated {
+			// Deterministic rejection (bad dataset, unknown platform):
+			// every replica would answer the same — relay the first.
+			relay(w, p)
+			return
+		}
+		var ur service.UploadResponse
+		if err := json.Unmarshal(p.body, &ur); err != nil {
+			rt.noteFailure(rs, "upload", err)
+			continue
+		}
+		rd.remote[rs.name] = ur.ID
+		if firstResp == nil {
+			firstResp = p
+			rd.samples, rd.columns = ur.Samples, ur.Columns
+		}
+	}
+	if firstResp == nil {
+		rt.fail(w, r, http.StatusServiceUnavailable, "no_replica", "no replica accepted the dataset")
+		return
+	}
+	rt.mu.Lock()
+	rt.nextID++
+	id := "ds-" + strconv.Itoa(rt.nextID)
+	rt.datasets[platform+"/"+id] = rd
+	rt.mu.Unlock()
+	rt.writeJSON(w, http.StatusCreated, service.UploadResponse{ID: id, Samples: rd.samples, Columns: rd.columns})
+}
+
+// ensureDataset makes sure rs holds rd, replaying the upload if needed,
+// and returns the replica-local dataset id.
+func (rt *Router) ensureDataset(r *http.Request, rs *replicaState, rd *routedDataset) (string, error) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if id, ok := rd.remote[rs.name]; ok {
+		return id, nil
+	}
+	p, err := rt.proxy(r, rs, http.MethodPost, "/v1/platforms/"+rd.platform+"/datasets", rd.contentType, rd.body)
+	if err != nil {
+		return "", err
+	}
+	if p.status != http.StatusCreated {
+		return "", fmt.Errorf("replica %s rejected dataset replay: http %d", rs.name, p.status)
+	}
+	var ur service.UploadResponse
+	if err := json.Unmarshal(p.body, &ur); err != nil {
+		return "", err
+	}
+	rd.remote[rs.name] = ur.ID
+	rt.reg.Counter(telemetry.RouterRepairsTotal, "kind", "dataset").Inc()
+	rt.logf("router: repaired dataset (%s, %d samples) onto %s as %s", rd.platform, rd.samples, rs.name, ur.ID)
+	return ur.ID, nil
+}
+
+// modelRingKey is the ring identity of a model: everything that
+// determines the fitted artifact, in the router's public namespace. It
+// only needs to be internally consistent — the ring decides placement,
+// the replicas decide bytes.
+func modelRingKey(platform, datasetID string, req service.TrainRequest) string {
+	params := make([]string, 0, len(req.Params))
+	for k, v := range req.Params {
+		b, _ := json.Marshal(v)
+		params = append(params, k+"="+string(b))
+	}
+	sort.Strings(params)
+	return "model/" + platform + "/" + datasetID + "/" + req.Feat + "/" + req.Classifier +
+		"/" + strings.Join(params, ",") + "/" + strconv.FormatUint(req.Seed, 10)
+}
+
+// handleTrain decodes the train request, picks the model's R ring
+// owners, and trains on every available owner. At least one owner must
+// hold the model before the router acknowledges it.
+func (rt *Router) handleTrain(w http.ResponseWriter, r *http.Request) {
+	platform := r.PathValue("platform")
+	var req service.TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.fail(w, r, http.StatusBadRequest, "bad_payload", "parse json: %v", err)
+		return
+	}
+	rt.mu.RLock()
+	rd := rt.datasets[platform+"/"+req.Dataset]
+	rt.mu.RUnlock()
+	if rd == nil {
+		rt.fail(w, r, http.StatusNotFound, "", "unknown dataset %q on %s", req.Dataset, platform)
+		return
+	}
+	rm := &routedModel{
+		platform:  platform,
+		datasetID: req.Dataset,
+		train:     req,
+		key:       modelRingKey(platform, req.Dataset, req),
+		remote:    map[string]string{},
+	}
+	rm.owners = rt.ring.Owners(rm.key)
+
+	now := time.Now()
+	trained := 0
+	for _, owner := range rm.owners {
+		rs := rt.byName[owner]
+		if !rs.available(now) {
+			continue
+		}
+		p, err := rt.trainOn(r, rs, rm)
+		if err != nil {
+			rt.noteFailure(rs, "train", err)
+			continue
+		}
+		if p.status != http.StatusCreated {
+			// A deterministic rejection (bad config): all owners would
+			// reject identically, so relay the replica's verdict as-is.
+			rt.noteSuccess(rs, p.status)
+			relay(w, p)
+			return
+		}
+		rt.noteSuccess(rs, p.status)
+		trained++
+	}
+	if trained == 0 {
+		rt.fail(w, r, http.StatusServiceUnavailable, "no_replica", "no ring owner available to train (owners: %s)", strings.Join(rm.owners, ", "))
+		return
+	}
+	rt.mu.Lock()
+	rt.nextID++
+	id := "m-" + strconv.Itoa(rt.nextID)
+	rt.models[platform+"/"+id] = rm
+	rt.mu.Unlock()
+	rt.writeJSON(w, http.StatusCreated, service.TrainResponse{ID: id})
+}
+
+// trainOn trains rm on one replica (ensuring its dataset first) and
+// records the replica-local model id. The returned response is the
+// replica's verbatim train response.
+func (rt *Router) trainOn(r *http.Request, rs *replicaState, rm *routedModel) (*proxied, error) {
+	rt.mu.RLock()
+	rd := rt.datasets[rm.platform+"/"+rm.datasetID]
+	rt.mu.RUnlock()
+	if rd == nil {
+		return nil, fmt.Errorf("model's dataset %s/%s is gone", rm.platform, rm.datasetID)
+	}
+	dsID, err := rt.ensureDataset(r, rs, rd)
+	if err != nil {
+		return nil, err
+	}
+	req := rm.train // copy; rewrite the dataset id into the replica's namespace
+	req.Dataset = dsID
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	p, err := rt.proxy(r, rs, http.MethodPost, "/v1/platforms/"+rm.platform+"/models", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	if p.status == http.StatusCreated {
+		var tr service.TrainResponse
+		if err := json.Unmarshal(p.body, &tr); err != nil {
+			return nil, err
+		}
+		rm.mu.Lock()
+		rm.remote[rs.name] = tr.ID
+		rm.mu.Unlock()
+	}
+	return p, nil
+}
+
+// ensureModel makes sure rs holds rm's fitted model, replaying the train
+// if needed, and returns the replica-local model id.
+func (rt *Router) ensureModel(r *http.Request, rs *replicaState, rm *routedModel) (string, error) {
+	rm.mu.Lock()
+	id, ok := rm.remote[rs.name]
+	rm.mu.Unlock()
+	if ok {
+		return id, nil
+	}
+	p, err := rt.trainOn(r, rs, rm)
+	if err != nil {
+		return "", err
+	}
+	if p.status != http.StatusCreated {
+		return "", fmt.Errorf("replica %s rejected train replay: http %d", rs.name, p.status)
+	}
+	rm.mu.Lock()
+	id = rm.remote[rs.name]
+	rm.mu.Unlock()
+	rt.reg.Counter(telemetry.RouterRepairsTotal, "kind", "model").Inc()
+	rt.logf("router: repaired model %s (%s) onto %s as %s", rm.key, rm.platform, rs.name, id)
+	return id, nil
+}
+
+// handlePredict is the hot path: route the request to the least-loaded
+// of the model's ring owners, relay the body bytes verbatim (binary
+// frames included — no re-encode), and fail over to the next owner on
+// any replica error, including death mid-response. A 4xx is the caller's
+// problem and is relayed from the first owner that answers; only replica
+// failures (transport errors, 5xx) move on.
+//
+// Every owner holds the same fitted model (training is deterministic),
+// so any of them may serve any predict; ordering the attempt list by
+// current in-flight count — join-shortest-queue over the owner set —
+// spreads a hot model's load across its R owners and keeps an uneven
+// model→primary assignment from bottlenecking the fleet on one replica.
+// Ties keep ring order, so an idle fleet still routes predictably.
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	platform := r.PathValue("platform")
+	rt.mu.RLock()
+	rm := rt.models[platform+"/"+r.PathValue("model")]
+	rt.mu.RUnlock()
+	if rm == nil {
+		rt.fail(w, r, http.StatusNotFound, "", "unknown model %q on %s", r.PathValue("model"), platform)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, r, http.StatusBadRequest, "bad_payload", "read body: %v", err)
+		return
+	}
+	contentType := r.Header.Get("Content-Type")
+
+	now := time.Now()
+	type candidate struct {
+		rs   *replicaState
+		load int64
+	}
+	cands := make([]candidate, 0, len(rm.owners))
+	for _, owner := range rm.owners {
+		rs := rt.byName[owner]
+		if !rs.available(now) {
+			continue
+		}
+		cands = append(cands, candidate{rs, rs.inFlight.Load()})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].load < cands[j].load })
+	attempts := 0
+	for _, cand := range cands {
+		rs := cand.rs
+		attempts++
+		remoteID, err := rt.ensureModel(r, rs, rm)
+		if err != nil {
+			rt.noteFailure(rs, "predict", err)
+			continue
+		}
+		p, err := rt.proxy(r, rs, http.MethodPost,
+			"/v1/platforms/"+platform+"/models/"+remoteID+"/predictions", contentType, body)
+		if err != nil || p.status >= 500 {
+			rt.noteFailure(rs, "predict", err)
+			continue
+		}
+		rt.noteSuccess(rs, p.status)
+		relay(w, p)
+		return
+	}
+	rt.fail(w, r, http.StatusServiceUnavailable, "no_replica",
+		"no ring owner served the predict (owners: %s, attempted: %d)", strings.Join(rm.owners, ", "), attempts)
+}

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"mlaasbench/internal/core"
+	"mlaasbench/internal/service"
+	"mlaasbench/internal/synth"
+	"mlaasbench/internal/telemetry"
+)
+
+// fleetOpts is a small sweep that still crosses several datasets and both
+// a white-box and a black-box platform, so the byte-identity check
+// exercises config echo, hidden-auto configs and baseline marking.
+func fleetOpts() core.Options {
+	return core.Options{
+		Profile:          synth.Quick,
+		Seed:             synth.CorpusSeed,
+		MaxDatasets:      4,
+		Platforms:        []string{"local", "google"},
+		StorePredictions: true,
+		Workers:          2,
+	}
+}
+
+// startReplicas boots n in-process replicas and returns their URLs.
+func startReplicas(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		api := service.NewServer(func(string, ...any) {}).WithRegistry(telemetry.NewRegistry())
+		srv := httptest.NewServer(api.Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// stripMicros zeroes the only field allowed to differ between a local and
+// a fleet sweep: wall-clock cost depends on where the work ran.
+func stripMicros(sw *core.Sweep) {
+	for _, byDS := range sw.ByPlatform {
+		for _, ms := range byDS {
+			for i := range ms {
+				ms[i].Micros = 0
+			}
+		}
+	}
+}
+
+// TestFleetSweepByteIdentical is the sharded-sweep acceptance check: the
+// fleet sweep must merge byte-identically to a single-process RunSweep at
+// ANY replica count — 1, 2 and 3 replicas all produce the same
+// measurements, datasets and ordering.
+func TestFleetSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep is a multi-second integration test")
+	}
+	ctx := context.Background()
+	opts := fleetOpts()
+	want, err := core.RunSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripMicros(want)
+
+	for _, replicas := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("replicas=%d", replicas), func(t *testing.T) {
+			urls := startReplicas(t, replicas)
+			got, err := core.RunSweepFleet(ctx, fleetOpts(), urls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripMicros(got)
+			if !reflect.DeepEqual(got.ByPlatform, want.ByPlatform) {
+				t.Fatal("fleet measurements differ from single-process sweep")
+			}
+			if len(got.Datasets) != len(want.Datasets) {
+				t.Fatalf("fleet sweep has %d datasets, local %d", len(got.Datasets), len(want.Datasets))
+			}
+			for i := range got.Datasets {
+				if got.Datasets[i].Name != want.Datasets[i].Name {
+					t.Fatalf("dataset %d: fleet %q, local %q — corpus order broken",
+						i, got.Datasets[i].Name, want.Datasets[i].Name)
+				}
+				if !reflect.DeepEqual(got.Datasets[i].TestY, want.Datasets[i].TestY) {
+					t.Fatalf("dataset %s: test labels differ", got.Datasets[i].Name)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetAssignmentsCoverAllUnits checks the dry-run view: every
+// (platform, dataset) unit maps to exactly one configured endpoint, and
+// with >1 endpoint the ring actually spreads units around.
+func TestFleetAssignmentsCoverAllUnits(t *testing.T) {
+	opts := core.Options{MaxDatasets: 10, Platforms: []string{"local", "google", "abm"}}
+	eps := []string{"http://a:1", "http://b:1", "http://c:1"}
+	got := core.FleetAssignments(opts, eps)
+	if len(got) != 30 {
+		t.Fatalf("%d assignments, want 30", len(got))
+	}
+	used := map[string]bool{}
+	valid := map[string]bool{}
+	for _, e := range eps {
+		valid[e] = true
+	}
+	for unit, ep := range got {
+		if !valid[ep] {
+			t.Fatalf("unit %s assigned to unknown endpoint %s", unit, ep)
+		}
+		used[ep] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all 30 units landed on one endpoint; ring is not spreading")
+	}
+}
+
+// TestRunSweepFleetRejectsEmptyFleet pins the error contract.
+func TestRunSweepFleetRejectsEmptyFleet(t *testing.T) {
+	if _, err := core.RunSweepFleet(context.Background(), fleetOpts(), nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// pacer is a serialized token pacer: each admitted request claims the
+// next slot on a fixed-interval schedule and sleeps until its slot
+// arrives. Unlike a token bucket it never bursts, so measured throughput
+// converges to exactly the configured rate.
+//
+// Its job is to model a *node* of fixed size. The paper's platforms
+// sell serving capacity in per-node quota units; a replica with a serve
+// budget behaves like one such node regardless of how much CPU the host
+// happens to have. That makes cluster scaling measurable on any machine:
+// N budget-capped replicas behind the router serve ~N x budget, so the
+// loadgen cluster sweep observes the router's scaling behaviour rather
+// than the host's core count. Multi-core deployments that want raw
+// hardware speed simply leave the budget off.
+type pacer struct {
+	mu       sync.Mutex
+	interval time.Duration
+	next     time.Time
+}
+
+func newPacer(rps float64) *pacer {
+	if rps <= 0 {
+		return nil
+	}
+	return &pacer{interval: time.Duration(float64(time.Second) / rps)}
+}
+
+// wait blocks until this request's schedule slot arrives, or the context
+// dies. Past slots are not banked: an idle pacer restarts the schedule
+// at "now" instead of releasing a burst.
+func (p *pacer) wait(ctx context.Context) error {
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	due := p.next
+	p.next = p.next.Add(p.interval)
+	p.mu.Unlock()
+	d := time.Until(due)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WithServeBudget caps the predict route at rps requests per second and
+// returns the server (chainable). Zero or negative removes the cap (the
+// default). The cap is a capacity model, not a limiter-for-safety: it
+// makes one replica behave like a fixed-size serving node so that
+// cluster scaling experiments measure the router and fleet, not the
+// host's core count. See the "Cluster serving" README section.
+func (s *Server) WithServeBudget(rps float64) *Server {
+	s.budget = newPacer(rps)
+	return s
+}
+
+// paced wraps a handler behind the serve-budget pacer when one is
+// configured. Runs inside the admission gate, so a paced server under
+// overload still sheds excess load with 503 instead of queueing
+// unboundedly on the pacer.
+func (s *Server) paced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p := s.budget; p != nil {
+			if err := p.wait(r.Context()); err != nil {
+				// The caller gave up while waiting for capacity.
+				s.failCode(w, r, http.StatusServiceUnavailable, codeOverloaded,
+					"request canceled while awaiting serve budget: %v", err)
+				return
+			}
+		}
+		h(w, r)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlaasbench/internal/classifiers"
@@ -68,6 +69,14 @@ type Server struct {
 	// admit, when non-nil, gates the predict route behind a bounded
 	// admission queue; excess load is shed with 503 + Retry-After.
 	admit *admission
+	// budget, when non-nil, paces the predict route to a fixed request
+	// rate — the per-node capacity model for cluster scaling runs.
+	budget *pacer
+	// notReady is set while the server cannot yet serve at full fidelity
+	// (boot warm scan still running); /healthz reports ready:false and
+	// cluster routers keep the replica out of rotation. Zero value =
+	// ready, so servers without a disk tier are born ready.
+	notReady atomic.Bool
 	// profiles, when non-nil, exposes the continuous profiler's bundle
 	// ring at /debug/profiles (see profiles_http.go).
 	profiles *profiling.Store
@@ -154,18 +163,33 @@ func (s *Server) WithModelCache(n int) *Server {
 // the server (chainable). Every fitted model is persisted as an MLMF
 // artifact, evicted models demote to disk instead of dropping, and cache
 // fills load from disk before paying for a fit. Call before serving starts.
+//
+// Attaching a store marks the server not ready until WarmFromStore
+// completes: a replica that would refit everything from scratch should
+// not take cluster traffic while its warm scan is still loading
+// artifacts.
 func (s *Server) WithStore(st *store.Store) *Server {
 	s.fits.store = st
+	s.notReady.Store(true)
 	return s
 }
 
 // WarmFromStore fills the model cache from the attached disk tier, up to
 // the cache capacity, and returns how many models were loaded. A warmed key
 // serves its first predict as a pure forward pass — no refit, miss count
-// zero. Call at boot, before serving starts.
+// zero. Call at boot, before serving starts; on success the server
+// becomes ready (/healthz ready:true) and routers admit it to rotation.
 func (s *Server) WarmFromStore() (int, error) {
-	return s.fits.warm()
+	n, err := s.fits.warm()
+	if err == nil {
+		s.notReady.Store(false)
+	}
+	return n, err
 }
+
+// Ready reports whether the server is ready for cluster traffic (the
+// boot warm scan, if any, has completed).
+func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // WithPredictShards bounds how many goroutines one predict request's
 // forward pass may fan its instance rows across and returns the server
@@ -193,7 +217,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/platforms/{platform}/surface", s.instrument("surface", s.handleSurface))
 	mux.HandleFunc("POST /v1/platforms/{platform}/datasets", s.instrument("upload", s.handleUpload))
 	mux.HandleFunc("POST /v1/platforms/{platform}/models", s.instrument("train", s.handleTrain))
-	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.admitted(s.handlePredict)))
+	mux.HandleFunc("POST /v1/platforms/{platform}/models/{model}/predictions", s.instrument("predict", s.admitted(s.paced(s.handlePredict))))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
@@ -359,8 +383,12 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 // two signals a saturation probe needs without parsing /metrics: the
 // predict admission queue depth and the disk-tier traffic counters.
 type HealthResponse struct {
-	Status         string  `json:"status"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Status string `json:"status"`
+	// Ready is false while the boot warm scan is still loading artifacts
+	// from the disk tier — alive but not fit for cluster traffic. The
+	// cluster router keeps not-ready replicas out of rotation.
+	Ready         bool    `json:"ready"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	Platforms      int     `json:"platforms"`
 	ResidentModels int     `json:"resident_models"`
 	GoVersion      string  `json:"go_version"`
@@ -387,6 +415,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fp := telemetry.Fingerprint()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:              "ok",
+		Ready:               s.Ready(),
 		UptimeSeconds:       time.Since(s.started).Seconds(),
 		Platforms:           len(s.plats),
 		ResidentModels:      s.fits.size(),

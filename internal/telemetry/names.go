@@ -107,6 +107,28 @@ const (
 	// burn rate or queue-depth bound first crossed its threshold after
 	// being healthy (edge-triggered, so sustained breaches count once).
 	SLOBreachesTotal = "mlaas_slo_breaches_total"
+
+	// Router* instrument the cluster front end (internal/cluster): requests
+	// counts every proxied request by replica and outcome
+	// ("ok"|"client_error"|"error"), in-flight gauges the requests each
+	// replica is serving right now, state changes counts routable-state
+	// transitions per replica ("up"|"warming"|"down") — each one is a ring
+	// rebalance event, since keys owned by a down replica fail over to the
+	// next owner — failovers counts attempts that moved to another owner
+	// after a replica error, and repairs counts lazy re-provisioning of a
+	// dataset or model onto an owner that was missing it (kind=
+	// "dataset"|"model": late joiners and post-restart replicas heal on
+	// first touch).
+	RouterRequestsTotal            = "mlaas_router_requests_total"
+	RouterReplicaInFlight          = "mlaas_router_replica_in_flight"
+	RouterReplicaStateChangesTotal = "mlaas_router_replica_state_changes_total"
+	RouterFailoversTotal           = "mlaas_router_failovers_total"
+	RouterRepairsTotal             = "mlaas_router_repairs_total"
+
+	// ClientFailoversTotal counts client-side base-URL rotations: attempts
+	// a Client with failover endpoints sent to a different endpoint than
+	// the previous attempt because that attempt failed retryably.
+	ClientFailoversTotal = "mlaas_client_failovers_total"
 )
 
 func init() {
@@ -139,4 +161,10 @@ func init() {
 	Default().Describe(ProfilingDroppedTotal, "Captures skipped or bundles pruned, by reason (busy, cooldown, evict, error).")
 	Default().Describe(SLOBurnRateMilli, "Rolling-window SLO burn rate x1000, by SLO and dimension (latency or errors).")
 	Default().Describe(SLOBreachesTotal, "SLO breach transitions (healthy -> breached), by SLO name.")
+	Default().Describe(RouterRequestsTotal, "Requests proxied by the cluster router, by replica and outcome.")
+	Default().Describe(RouterReplicaInFlight, "Requests a replica is serving through the router right now.")
+	Default().Describe(RouterReplicaStateChangesTotal, "Replica routable-state transitions (ring rebalance events), by replica and state.")
+	Default().Describe(RouterFailoversTotal, "Proxy attempts that failed over to another ring owner, by route.")
+	Default().Describe(RouterRepairsTotal, "Datasets/models lazily re-provisioned onto an owner that was missing them, by kind.")
+	Default().Describe(ClientFailoversTotal, "Client attempts that rotated to a failover endpoint.")
 }
